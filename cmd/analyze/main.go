@@ -1,0 +1,107 @@
+// Command analyze runs analog analyses on the built-in filter circuits
+// and prints CSV suitable for plotting: a Bode sweep (magnitude dB and
+// phase), the input impedance, or the unit-step response.
+//
+// Usage:
+//
+//	analyze -circuit bandpass -mode bode -points 200 > bode.csv
+//	analyze -circuit chebyshev -mode step -window 2e-3
+//	analyze -circuit statevar -mode zin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"os"
+
+	"repro/internal/circuits"
+	"repro/internal/mna"
+	"repro/internal/numeric"
+	"repro/internal/waveform"
+)
+
+func main() {
+	circuit := flag.String("circuit", "bandpass", "bandpass | chebyshev | statevar")
+	mode := flag.String("mode", "bode", "bode | zin | step")
+	points := flag.Int("points", 200, "sweep points (bode, zin)")
+	lo := flag.Float64("lo", 10, "sweep start frequency [Hz]")
+	hi := flag.Float64("hi", 1e6, "sweep end frequency [Hz]")
+	window := flag.Float64("window", 5e-3, "step-response window [s]")
+	flag.Parse()
+
+	var (
+		c   *mna.Circuit
+		out string
+	)
+	switch *circuit {
+	case "bandpass":
+		c, out = circuits.BandPass2(), circuits.BandPassOutput
+	case "chebyshev":
+		c, out = circuits.Chebyshev5(), circuits.ChebyshevOutput
+	case "statevar":
+		c, out = circuits.StateVariable(true), circuits.StateVarLP
+	default:
+		fmt.Fprintf(os.Stderr, "analyze: unknown circuit %q\n", *circuit)
+		os.Exit(2)
+	}
+
+	var err error
+	switch *mode {
+	case "bode":
+		err = bode(c, out, *lo, *hi, *points)
+	case "zin":
+		err = zin(c, *lo, *hi, *points)
+	case "step":
+		err = step(c, out, *window)
+	default:
+		fmt.Fprintf(os.Stderr, "analyze: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func bode(c *mna.Circuit, out string, lo, hi float64, points int) error {
+	fmt.Println("freq_hz,mag_db,phase_deg")
+	for _, f := range numeric.Logspace(lo, hi, points) {
+		g, err := c.Gain(out, f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%.6g,%.4f,%.2f\n", f, numeric.Db(cmplx.Abs(g)),
+			cmplx.Phase(g)*180/math.Pi)
+	}
+	return nil
+}
+
+func zin(c *mna.Circuit, lo, hi float64, points int) error {
+	fmt.Println("freq_hz,zin_mag_ohm,zin_phase_deg")
+	for _, f := range numeric.Logspace(lo, hi, points) {
+		z, err := c.InputImpedance("Vin", f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%.6g,%.4f,%.2f\n", f, cmplx.Abs(z), cmplx.Phase(z)*180/math.Pi)
+	}
+	return nil
+}
+
+func step(c *mna.Circuit, out string, window float64) error {
+	const n = 2048
+	s, err := waveform.StepResponse(c, out, window, n)
+	if err != nil {
+		return err
+	}
+	fmt.Println("time_s,v_out")
+	dt := window / n
+	for m := 0; m < n; m++ {
+		fmt.Printf("%.6g,%.6f\n", float64(m)*dt, s[m])
+	}
+	ts := waveform.SettlingTime(s, window, 0.01*math.Abs(s[n-1]))
+	fmt.Fprintf(os.Stderr, "1%% settling time: %.4g s\n", ts)
+	return nil
+}

@@ -1,0 +1,92 @@
+// Command diagnose demonstrates fault diagnosis with a full fault
+// dictionary: it generates a test set for a benchmark circuit, builds the
+// dictionary, injects a (seeded) random stuck-at fault, simulates the
+// "tester response", and reports the candidate ambiguity set.
+//
+// Usage:
+//
+//	diagnose -circuit c432 -seed 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/atpg"
+	"repro/internal/faults"
+	"repro/internal/iscas"
+	"repro/internal/logic"
+)
+
+func main() {
+	circuit := flag.String("circuit", "c432", "benchmark circuit (c432, c499, c880, c1355, c1908, fig3, adder283)")
+	seed := flag.Int64("seed", 1, "seed selecting the injected fault")
+	flag.Parse()
+	if err := run(*circuit, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "diagnose: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, seed int64) error {
+	var c *logic.Circuit
+	switch name {
+	case "fig3":
+		c = iscas.Fig3()
+	case "adder283":
+		c = iscas.Adder283()
+	default:
+		var err error
+		c, err = iscas.Benchmark(name)
+		if err != nil {
+			return err
+		}
+	}
+	fs := faults.Collapse(c)
+	g, err := atpg.New(c)
+	if err != nil {
+		return err
+	}
+	res := g.Run(fs)
+	fmt.Printf("%s: %d collapsed faults, %d test vectors (coverage %.1f%%)\n",
+		c.Name, len(fs), len(res.Vectors), 100*res.Coverage())
+
+	dict, err := faults.BuildDictionary(c, res.Vectors, fs)
+	if err != nil {
+		return err
+	}
+	stats := dict.Diagnosability()
+	fmt.Printf("dictionary: %d signature classes, %d fully distinguished faults, largest ambiguity set %d, %d undetected\n",
+		stats.Classes, stats.Distinguished, stats.LargestClass, stats.Undetected)
+
+	// Inject a random detectable fault and diagnose it.
+	rng := rand.New(rand.NewSource(seed))
+	var injected faults.Fault
+	for {
+		injected = fs[rng.Intn(len(fs))]
+		if !dict.ObserveFault(injected).IsZero() {
+			break
+		}
+	}
+	fmt.Printf("\ninjected defect: %s\n", injected.Name(c))
+	obs := dict.ObserveFault(injected)
+	failing := 0
+	for _, w := range obs {
+		if w != 0 {
+			failing++
+		}
+	}
+	fmt.Printf("tester response: %d of %d vectors miscompare\n", failing, len(res.Vectors))
+	cands := dict.Diagnose(obs)
+	fmt.Printf("diagnosis: %d candidate fault(s):\n", len(cands))
+	for _, f := range cands {
+		marker := " "
+		if f == injected {
+			marker = "*"
+		}
+		fmt.Printf("  %s %s\n", marker, f.Name(c))
+	}
+	return nil
+}

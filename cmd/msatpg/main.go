@@ -1,0 +1,169 @@
+// Command msatpg runs the full mixed-signal automatic test vector
+// generation flow on one of the built-in mixed circuits, printing the
+// analog element tests (stimulus, comparator, digital vector), the
+// conversion-block coverage and the constrained digital stuck-at run.
+//
+// Usage:
+//
+//	msatpg                       # Figure 4 vehicle (band-pass + Fig 3)
+//	msatpg -circuit chebyshev -digital c880
+//	msatpg -circuit chebyshev -digital c1908 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/adc"
+	"repro/internal/analog"
+	"repro/internal/atpg"
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/faults"
+	"repro/internal/iscas"
+)
+
+func main() {
+	circuit := flag.String("circuit", "bandpass", "analog block: bandpass | chebyshev")
+	digital := flag.String("digital", "", "digital block: fig3 (default for bandpass) | c432 | c499 | c880 | c1355 | c1908")
+	verbose := flag.Bool("v", false, "print per-element details")
+	program := flag.Bool("program", false, "compile and print the complete test program instead of the summary")
+	flag.Parse()
+
+	if err := run(*circuit, *digital, *verbose, *program); err != nil {
+		fmt.Fprintf(os.Stderr, "msatpg: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(circuit, digital string, verbose, program bool) error {
+	var (
+		mx       *core.Mixed
+		elements []string
+		params   []analog.Parameter
+		err      error
+	)
+	switch circuit {
+	case "bandpass":
+		if digital == "" {
+			digital = "fig3"
+		}
+		if digital != "fig3" {
+			return fmt.Errorf("the band-pass vehicle pairs with -digital fig3")
+		}
+		mx, err = core.NewMixed(circuits.BandPass2(), circuits.BandPassOutput,
+			adc.NewFlash(2, 0, 3), iscas.Fig3(), iscas.Fig3ConstrainedLines())
+		elements = circuits.BandPassElements
+		params = circuits.BandPassParams()
+	case "chebyshev":
+		if digital == "" {
+			digital = "c880"
+		}
+		dig, derr := iscas.Benchmark(digital)
+		if derr != nil {
+			return derr
+		}
+		mx, err = core.NewMixed(circuits.Chebyshev5(), circuits.ChebyshevOutput,
+			adc.NewFlash(experiments.ComparatorCount, 0, float64(experiments.ComparatorCount+1)),
+			dig, experiments.BoundInputs(dig, digital))
+		elements = circuits.ChebyshevElements
+		params = circuits.ChebyshevParams()
+	default:
+		return fmt.Errorf("unknown -circuit %q", circuit)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("mixed circuit: %s → %d-comparator flash → %s (%d PIs, %d bound, %d free)\n",
+		mx.Analog.Name(), mx.Conv.NumComparators(), mx.Digital.Name,
+		len(mx.Digital.Inputs()), len(mx.Binding), len(mx.FreeInputs()))
+
+	if program {
+		matrix, err := analog.BuildMatrix(mx.Analog, elements, params, analog.DefaultEDOptions())
+		if err != nil {
+			return err
+		}
+		prog, err := core.CompileProgram(mx, matrix, elements)
+		if err != nil {
+			return err
+		}
+		return prog.Write(os.Stdout)
+	}
+
+	// 1. Analog element tests through the digital block.
+	fmt.Println("\n-- analog element tests (activation + D propagation) --")
+	matrix, err := analog.BuildMatrix(mx.Analog, elements, params, analog.DefaultEDOptions())
+	if err != nil {
+		return err
+	}
+	prop, err := core.NewPropagator(mx)
+	if err != nil {
+		return err
+	}
+	testable := 0
+	for _, elem := range elements {
+		verdict, err := mx.TestAnalogElement(prop, matrix, elem, core.UpperBound)
+		if err != nil {
+			return err
+		}
+		if verdict.Testable {
+			testable++
+			if verbose {
+				fmt.Printf("  %-4s ED=%-7s via %-5s %v → comparator %d → outputs %v, free inputs %v\n",
+					elem, fmtPct(verdict.ED), verdict.Param, verdict.Act.Stim,
+					verdict.Act.Target, verdict.Prop.Outputs, verdict.Prop.Vector)
+			}
+		} else if verbose {
+			fmt.Printf("  %-4s NOT TESTABLE (%s)\n", elem, verdict.Reason)
+		}
+	}
+	fmt.Printf("  %d/%d elements testable through the mixed circuit\n", testable, len(elements))
+
+	// 2. Conversion-block coverage.
+	census, err := mx.CensusPropagation(prop)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n-- conversion block: comparators blocked low=%v high=%v --\n",
+		census.BlockedLow, census.BlockedHigh)
+	eds := mx.ConversionCoverage(census, adc.DefaultEDOptions())
+	fmt.Print("  ladder EDs: ")
+	for i, ed := range eds {
+		fmt.Printf("R%d=%s ", i+1, fmtPct(ed))
+	}
+	fmt.Println()
+
+	// 3. Constrained digital stuck-at ATPG.
+	fmt.Println("\n-- digital stuck-at ATPG under the conversion constraints --")
+	gen, err := atpg.New(mx.Digital)
+	if err != nil {
+		return err
+	}
+	fc := mx.Conv.ConstraintBDD(gen.Manager(), mx.Binding)
+	gen.SetConstraint(fc)
+	fs := faults.Collapse(mx.Digital)
+	res := gen.Run(fs)
+	fmt.Printf("  %d collapsed faults: %d detected, %d untestable, %d vectors, %v, coverage %.1f%%\n",
+		res.Total, res.Detected, len(res.Untestable), len(res.Vectors), res.CPU.Round(1e6),
+		100*res.Coverage())
+	if verbose {
+		for i, v := range res.Vectors {
+			if i >= 10 {
+				fmt.Printf("  ... and %d more vectors\n", len(res.Vectors)-10)
+				break
+			}
+			fmt.Printf("  vector %2d: %s\n", i+1, v)
+		}
+	}
+	return nil
+}
+
+func fmtPct(f float64) string {
+	if f > 1e6 {
+		return "—"
+	}
+	return fmt.Sprintf("%.1f%%", 100*f)
+}

@@ -1,0 +1,20 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	B. Ayari, N. BenHamida, B. Kaminska,
+//	"Automatic Test Vector Generation for Mixed-Signal Circuits",
+//	European Design and Test Conference (ED&TC / DATE), 1995.
+//
+// The system generates functional tests for mixed-signal circuits of the
+// form analog block → A/D conversion block → digital block, treated as a
+// single entity: analog elements are tested by worst-case deviation
+// analysis, the digital block by backtrack-free OBDD stuck-at ATPG under
+// the constraint function imposed by the conversion block, and analog
+// faults are activated by sine stimuli (Table 1 of the paper) and
+// propagated through the digital block as composite values D/D̄ with D as
+// the last OBDD variable.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmarks in bench_test.go regenerate every table and figure of
+// the paper's evaluation.
+package repro

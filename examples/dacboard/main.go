@@ -1,0 +1,90 @@
+// The dual configuration the paper announces as future work: a digital
+// block (74LS283 adder) whose output code drives an R-2R DAC whose output
+// feeds an analog low-pass, with all observability through the analog
+// output. The program shows:
+//
+//  1. how the tester's measurement accuracy at the analog output maps to
+//     a minimal observable DAC code change τ,
+//  2. stuck-at coverage of the digital block as a function of τ (LSB-only
+//     faults disappear first),
+//  3. the R-2R ladder's element coverage (the DAC dual of Table 6), and
+//  4. one analog element tested through the chain.
+//
+// Run with: go run ./examples/dacboard
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/atpg"
+	"repro/internal/core"
+	"repro/internal/dac"
+	"repro/internal/faults"
+	"repro/internal/iscas"
+	"repro/internal/mna"
+)
+
+func main() {
+	adder := iscas.Adder283()
+	conv := dac.NewR2R(5, 2.56)
+
+	// Analog block: a divider-loaded RC low-pass with DC gain 0.5.
+	ana := mna.New("loadedrc")
+	ana.AddV("Vin", "in", "0", 1, 1)
+	ana.AddR("R1", "in", "out", 10e3)
+	ana.AddR("R2", "out", "0", 10e3)
+	ana.AddC("C", "out", "0", 10e-9)
+
+	for _, accuracy := range []float64{0.01, 0.05, 0.12} {
+		mx, err := core.NewMixedDA(adder, []string{"s0", "s1", "s2", "s3", "c4"},
+			conv, ana, "out", accuracy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tau, err := mx.Tau()
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, err := atpg.New(adder)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fs := faults.Collapse(adder)
+		res := mx.RunDigitalDA(g, fs, tau)
+		fmt.Printf("accuracy %4.1f%% of full scale → τ = %d LSB: %d/%d faults detected, %d vectors\n",
+			100*accuracy, tau, res.Detected, res.Total, len(res.Vectors))
+	}
+
+	// DAC ladder coverage.
+	fmt.Println("\nR-2R ladder element coverage (5% output accuracy):")
+	names := conv.ElementNames()
+	eds := conv.CoverageTable(dac.DefaultEDOptions())
+	for i, n := range names {
+		fmt.Printf("  %-4s ED = %s\n", n, fmtPct(eds[i]))
+	}
+	inl, err := conv.INLMaxLSB()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("nominal ladder INL: %.4f LSB\n", inl)
+
+	// One analog element through the chain.
+	mx, err := core.NewMixedDA(adder, []string{"s0", "s1", "s2", "s3", "c4"},
+		conv, ana, "out", 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ed, err := mx.AnalogElementEDDA("R2", 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nanalog element R2 detectable through the DA chain at %s deviation\n", fmtPct(ed))
+}
+
+func fmtPct(f float64) string {
+	if f > 1e6 {
+		return "—"
+	}
+	return fmt.Sprintf("%.1f%%", 100*f)
+}

@@ -1,0 +1,111 @@
+// The §3.1 validation board: a state-variable filter, an 8-bit A/D
+// converter (AD7820 stand-in) and a 74LS283 4-bit binary adder. The
+// program replays the paper's validation:
+//
+//  1. computes the worst-case component deviations (CD) for the selected
+//     performance set,
+//  2. injects each fault and "measures" the resulting performance
+//     deviation (MPD), confirming every one lands outside the ±5% box,
+//  3. shows the fault flipping the ADC code that feeds the adder, and
+//  4. generates tests for stuck-at faults at the adder inputs.
+//
+// Run with: go run ./examples/statevarboard
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/adc"
+	"repro/internal/analog"
+	"repro/internal/atpg"
+	"repro/internal/circuits"
+	"repro/internal/faults"
+	"repro/internal/iscas"
+	"repro/internal/waveform"
+)
+
+func main() {
+	board := circuits.StateVariable(true)
+	params := circuits.StateVarParams()
+	converter := adc.NewSAR(8, 0, 2.56)
+
+	vals, err := analog.MeasureAll(board, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("nominal performances of the state-variable board:")
+	for _, p := range params {
+		fmt.Printf("  %-6s = %.4g\n", p.Name(), vals[p.Name()])
+	}
+
+	matrix, err := analog.BuildMatrix(board, circuits.StateVarElements, params,
+		analog.DefaultEDOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\ncomponent fault injection (CD = computed worst case, MPD = measured):")
+	fmt.Printf("  %-6s %-4s %8s %8s %s\n", "T", "C", "CD[%]", "MPD[%]", "out of ±5% box")
+	for _, elem := range circuits.StateVarElements {
+		j := matrix.BestParamFor(elem)
+		if j < 0 {
+			continue
+		}
+		p := matrix.Params[j]
+		cd, _ := matrix.Lookup(elem, p.Name())
+		mpd := 0.0
+		for _, sign := range []float64{1, -1} {
+			d := sign * cd * 1.0001
+			if d <= -0.95 {
+				continue
+			}
+			dev, err := analog.ParamDeviation(board, elem, p, d)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if math.Abs(dev) > math.Abs(mpd) {
+				mpd = dev
+			}
+		}
+		fmt.Printf("  %-6s %-4s %8.1f %8.1f %v\n",
+			p.Name(), elem, 100*cd, 100*mpd, math.Abs(mpd) >= 0.05)
+	}
+
+	// One end-to-end digital observation: R7 +CD changes the DC level at
+	// the buffered output, which changes the 8-bit code at the adder.
+	stim := waveform.Stimulus{Kind: waveform.DC, Amplitude: 1}
+	good, err := waveform.ResponseAmplitude(board, circuits.StateVarOut, stim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cd, _ := matrix.Lookup("R7", "A2dc")
+	restore := board.Perturb("R7", cd*1.01)
+	faulty, err := waveform.ResponseAmplitude(board, circuits.StateVarOut, stim)
+	restore()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nR7 %+0.1f%%: board output %0.3f V → %0.3f V, ADC code %d → %d\n",
+		100*cd, good, faulty, converter.Convert(good), converter.Convert(faulty))
+
+	// Digital part: the 74LS283 adder.
+	adder := iscas.Adder283()
+	gen, err := atpg.New(adder)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs := faults.Collapse(adder)
+	res := gen.Run(fs)
+	fmt.Printf("\n74LS283 stuck-at ATPG: %d faults, %d vectors, %d untestable, coverage %.0f%%\n",
+		res.Total, len(res.Vectors), len(res.Untestable), 100*res.Coverage())
+	fmt.Println("first vectors (a3..a0 b3..b0 c0 order follows input list):")
+	for i, v := range res.Vectors {
+		if i == 5 {
+			fmt.Printf("  ... %d more\n", len(res.Vectors)-5)
+			break
+		}
+		fmt.Printf("  %s\n", v)
+	}
+}

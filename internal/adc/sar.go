@@ -1,0 +1,58 @@
+package adc
+
+import "fmt"
+
+// SAR is a behavioural n-bit analog-to-digital converter with an ideal
+// transfer characteristic, standing in for the AD7820 of the Figure 8
+// validation board. Codes are mid-tread: code = round((v−vlo)/LSB),
+// clipped to the code range.
+type SAR struct {
+	bits     int
+	vlo, vhi float64
+}
+
+// NewSAR builds an n-bit converter over [vlo, vhi].
+func NewSAR(bits int, vlo, vhi float64) *SAR {
+	if bits < 1 || bits > 30 {
+		panic(fmt.Sprintf("adc: unsupported resolution %d bits", bits))
+	}
+	if vhi <= vlo {
+		panic(fmt.Sprintf("adc: reference rails inverted: [%g, %g]", vlo, vhi))
+	}
+	return &SAR{bits: bits, vlo: vlo, vhi: vhi}
+}
+
+// Bits returns the resolution.
+func (a *SAR) Bits() int { return a.bits }
+
+// LSB returns the voltage step per code.
+func (a *SAR) LSB() float64 {
+	return (a.vhi - a.vlo) / float64(int(1)<<uint(a.bits))
+}
+
+// Convert returns the output code for an input voltage.
+func (a *SAR) Convert(v float64) int {
+	maxCode := int(1)<<uint(a.bits) - 1
+	if v <= a.vlo {
+		return 0
+	}
+	if v >= a.vhi {
+		return maxCode
+	}
+	code := int((v - a.vlo) / a.LSB())
+	if code > maxCode {
+		code = maxCode
+	}
+	return code
+}
+
+// ConvertBits returns the output code as booleans, least significant bit
+// first, for wiring into a gate-level digital block.
+func (a *SAR) ConvertBits(v float64) []bool {
+	code := a.Convert(v)
+	out := make([]bool, a.bits)
+	for i := range out {
+		out[i] = code&(1<<uint(i)) != 0
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package analog
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mna"
+)
+
+// CatKind distinguishes the two catastrophic fault types of the paper's
+// §2.1 (after Milor & Visvanathan): opens and shorts caused by sudden,
+// large component changes — as opposed to the parametric (soft)
+// deviations the ED machinery quantifies.
+type CatKind int
+
+// Catastrophic fault kinds.
+const (
+	Open CatKind = iota
+	Short
+)
+
+func (k CatKind) String() string {
+	if k == Open {
+		return "open"
+	}
+	return "short"
+}
+
+// CatFault is one catastrophic fault: an element blown open or shorted.
+type CatFault struct {
+	Element string
+	Kind    CatKind
+}
+
+// Name renders the fault as "R5 open".
+func (f CatFault) Name() string { return fmt.Sprintf("%s %s", f.Element, f.Kind) }
+
+// Catastrophic fault magnitudes: an open resistor is modelled as value
+// ×1e9, a shorted one ×1e-9; capacitors dually (an open capacitor loses
+// its capacitance, a shorted one becomes a huge capacitance ≈ an AC
+// short). The linear solver stays well-conditioned at these extremes
+// thanks to scaled partial pivoting.
+const (
+	openFactor  = 1e9
+	shortFactor = 1e-9
+)
+
+// CatastrophicFaults enumerates both kinds for every element.
+func CatastrophicFaults(elements []string) []CatFault {
+	out := make([]CatFault, 0, 2*len(elements))
+	for _, e := range elements {
+		out = append(out, CatFault{Element: e, Kind: Open}, CatFault{Element: e, Kind: Short})
+	}
+	return out
+}
+
+// InjectCat applies the catastrophic fault to the circuit and returns a
+// restore function. Opens and shorts map to value factors according to
+// the element kind: for resistors an open raises R, a short lowers it;
+// for capacitors an open removes capacitance (value ×1e-9 ⇒ the branch
+// admittance vanishes) and a short raises it.
+func InjectCat(c *mna.Circuit, f CatFault) (restore func(), err error) {
+	if !c.HasElement(f.Element) {
+		return nil, fmt.Errorf("analog: no element %q", f.Element)
+	}
+	old := c.Value(f.Element)
+	var factor float64
+	switch c.Kind(f.Element) {
+	case mna.KindResistor, mna.KindInductor:
+		if f.Kind == Open {
+			factor = openFactor
+		} else {
+			factor = shortFactor
+		}
+	case mna.KindCapacitor:
+		// An open capacitor contributes no admittance (tiny C); a
+		// shorted one is a near-infinite admittance (huge C).
+		if f.Kind == Open {
+			factor = shortFactor
+		} else {
+			factor = openFactor
+		}
+	default:
+		return nil, fmt.Errorf("analog: catastrophic faults undefined for element %q (%v)",
+			f.Element, c.Kind(f.Element))
+	}
+	c.SetValue(f.Element, old*factor)
+	return func() { c.SetValue(f.Element, old) }, nil
+}
+
+// CatVerdict reports how a catastrophic fault shows up on the selected
+// parameter set.
+type CatVerdict struct {
+	Fault    CatFault
+	Param    string  // first parameter leaving its tolerance box
+	Dev      float64 // relative deviation observed there (may be ±Inf-like huge)
+	Detected bool
+	// Broken marks faults that make the circuit unsolvable or a
+	// parameter unmeasurable (e.g. the search window no longer brackets
+	// a cut-off) — on a bench these are trivially detected, and the
+	// verdict records them as detected with Param = "(unmeasurable)".
+	Broken bool
+}
+
+// TestCatastrophic injects every catastrophic fault and checks it against
+// the parameter set with the given tolerance box: the paper's premise is
+// that the functional test set chosen for parametric faults catches all
+// catastrophic ones, since opens/shorts are extreme parameter deviations.
+func TestCatastrophic(c *mna.Circuit, elements []string, params []Parameter, tol float64) ([]CatVerdict, error) {
+	nominal := map[string]float64{}
+	for _, p := range params {
+		v, err := p.Measure(c)
+		if err != nil {
+			return nil, fmt.Errorf("analog: nominal %s: %w", p.Name(), err)
+		}
+		nominal[p.Name()] = v
+	}
+	var out []CatVerdict
+	for _, f := range CatastrophicFaults(elements) {
+		restore, err := InjectCat(c, f)
+		if err != nil {
+			return nil, err
+		}
+		verdict := CatVerdict{Fault: f}
+		for _, p := range params {
+			v, err := p.Measure(c)
+			if err != nil {
+				// Circuit so broken the parameter cannot be measured:
+				// an obvious bench failure, counted as detected.
+				verdict.Detected = true
+				verdict.Broken = true
+				verdict.Param = "(unmeasurable)"
+				break
+			}
+			nom := nominal[p.Name()]
+			if nom == 0 {
+				continue
+			}
+			dev := (v - nom) / nom
+			if math.Abs(dev) > tol {
+				verdict.Detected = true
+				verdict.Param = p.Name()
+				verdict.Dev = dev
+				break
+			}
+		}
+		restore()
+		out = append(out, verdict)
+	}
+	return out, nil
+}

@@ -1,0 +1,146 @@
+package analog
+
+import (
+	"testing"
+
+	"repro/internal/mna"
+)
+
+func TestCatastrophicFaultsEnumeration(t *testing.T) {
+	fs := CatastrophicFaults([]string{"R1", "C1"})
+	if len(fs) != 4 {
+		t.Fatalf("faults = %d, want 4", len(fs))
+	}
+	if fs[0].Name() != "R1 open" || fs[3].Name() != "C1 short" {
+		t.Errorf("names = %s / %s", fs[0].Name(), fs[3].Name())
+	}
+}
+
+func TestInjectCatResistor(t *testing.T) {
+	c := divider()
+	restore, err := InjectCat(c, CatFault{Element: "R1", Kind: Open})
+	if err != nil {
+		t.Fatalf("InjectCat: %v", err)
+	}
+	if c.Value("R1") < 1e10 {
+		t.Errorf("open R1 = %g, want huge", c.Value("R1"))
+	}
+	restore()
+	if c.Value("R1") != 10e3 {
+		t.Error("restore failed")
+	}
+	restore2, err := InjectCat(c, CatFault{Element: "R2", Kind: Short})
+	if err != nil {
+		t.Fatalf("InjectCat: %v", err)
+	}
+	if c.Value("R2") > 1e-3 {
+		t.Errorf("short R2 = %g, want tiny", c.Value("R2"))
+	}
+	restore2()
+}
+
+func TestInjectCatCapacitorPolarity(t *testing.T) {
+	c := rcLowPass()
+	// Open capacitor: capacitance vanishes (admittance → 0).
+	restore, err := InjectCat(c, CatFault{Element: "C", Kind: Open})
+	if err != nil {
+		t.Fatalf("InjectCat: %v", err)
+	}
+	if c.Value("C") > 1e-15 {
+		t.Errorf("open C = %g, want tiny", c.Value("C"))
+	}
+	restore()
+	// Short capacitor: huge capacitance (AC short).
+	restore2, err := InjectCat(c, CatFault{Element: "C", Kind: Short})
+	if err != nil {
+		t.Fatalf("InjectCat: %v", err)
+	}
+	if c.Value("C") < 1 {
+		t.Errorf("short C = %g, want huge", c.Value("C"))
+	}
+	restore2()
+}
+
+func TestInjectCatErrors(t *testing.T) {
+	c := divider()
+	if _, err := InjectCat(c, CatFault{Element: "zz", Kind: Open}); err == nil {
+		t.Error("unknown element must error")
+	}
+	if _, err := InjectCat(c, CatFault{Element: "Vin", Kind: Open}); err == nil {
+		t.Error("source element must error")
+	}
+}
+
+func TestCatastrophicAllDetectedOnDivider(t *testing.T) {
+	c := divider()
+	params := []Parameter{DCGain{Label: "Adc", Out: "out"}}
+	verdicts, err := TestCatastrophic(c, []string{"R1", "R2"}, params, 0.05)
+	if err != nil {
+		t.Fatalf("TestCatastrophic: %v", err)
+	}
+	if len(verdicts) != 4 {
+		t.Fatalf("verdicts = %d", len(verdicts))
+	}
+	for _, v := range verdicts {
+		if !v.Detected {
+			t.Errorf("%s undetected (dev %.3f)", v.Fault.Name(), v.Dev)
+		}
+	}
+	// Circuit restored to nominal.
+	if c.Value("R1") != 10e3 || c.Value("R2") != 10e3 {
+		t.Error("TestCatastrophic leaked a fault")
+	}
+}
+
+func TestCatastrophicRCWithGainAndCutoff(t *testing.T) {
+	// The RC low-pass needs both parameters: an open C barely moves the
+	// DC gain but blows the cut-off away (or makes it unmeasurable).
+	c := rcLowPass()
+	params := []Parameter{
+		DCGain{Label: "Adc", Out: "out"},
+		CutoffFreq{Label: "fh", Out: "out", Side: HighSide, Ref: RefDC, Lo: 1, Hi: 1e6},
+	}
+	verdicts, err := TestCatastrophic(c, []string{"R", "C"}, params, 0.05)
+	if err != nil {
+		t.Fatalf("TestCatastrophic: %v", err)
+	}
+	for _, v := range verdicts {
+		if !v.Detected {
+			t.Errorf("%s undetected", v.Fault.Name())
+		}
+	}
+}
+
+func TestCatastrophicBrokenCircuitCountsDetected(t *testing.T) {
+	// Shorting R of the RC wipes out the cut-off measurement window:
+	// the fault is reported detected via "(unmeasurable)".
+	c := rcLowPass()
+	params := []Parameter{
+		CutoffFreq{Label: "fh", Out: "out", Side: HighSide, Ref: RefDC, Lo: 1, Hi: 1e6},
+	}
+	verdicts, err := TestCatastrophic(c, []string{"R"}, params, 0.05)
+	if err != nil {
+		t.Fatalf("TestCatastrophic: %v", err)
+	}
+	for _, v := range verdicts {
+		if !v.Detected {
+			t.Errorf("%s undetected", v.Fault.Name())
+		}
+	}
+}
+
+func TestCatastrophicSolverStaysStable(t *testing.T) {
+	// Extreme values must not break the scaled-pivoting solver: every
+	// injected fault still solves or is flagged unmeasurable, never a
+	// propagated error from TestCatastrophic itself.
+	c := mna.New("chain")
+	c.AddV("Vin", "in", "0", 1, 1)
+	c.AddR("Ra", "in", "m1", 1e3)
+	c.AddR("Rb", "m1", "m2", 2e3)
+	c.AddC("Ca", "m1", "0", 1e-9)
+	c.AddR("Rc", "m2", "0", 3e3)
+	params := []Parameter{DCGain{Label: "Adc", Out: "m2"}}
+	if _, err := TestCatastrophic(c, []string{"Ra", "Rb", "Ca", "Rc"}, params, 0.05); err != nil {
+		t.Fatalf("TestCatastrophic: %v", err)
+	}
+}

@@ -1,0 +1,228 @@
+// Package analog implements the paper's analog test method (after
+// BenHamida & Kaminska [8]): measurable parameters of a linear circuit,
+// sensitivity computation, worst-case element deviation (ED), the
+// element↔parameter coverage matrix of Equation 1, and minimal test-set
+// selection over the bipartite coverage graph.
+package analog
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mna"
+	"repro/internal/numeric"
+)
+
+// Parameter is a measurable performance of an analog circuit: a gain, a
+// center frequency, a cut-off frequency. Measure must be a pure function
+// of the circuit's current element values.
+type Parameter interface {
+	// Name returns the paper-style label, e.g. "A1" or "fc1".
+	Name() string
+	// Measure evaluates the parameter on the circuit as it stands.
+	Measure(c *mna.Circuit) (float64, error)
+}
+
+// DCGain measures |V(Out)/Vin| at DC.
+type DCGain struct {
+	Label string
+	Out   string
+}
+
+// Name implements Parameter.
+func (p DCGain) Name() string { return p.Label }
+
+// Measure implements Parameter.
+func (p DCGain) Measure(c *mna.Circuit) (float64, error) {
+	return c.GainMag(p.Out, 0)
+}
+
+// ACGain measures |V(Out)/Vin| at a fixed frequency — the paper's
+// "gain at 10 kHz" style parameter.
+type ACGain struct {
+	Label string
+	Out   string
+	Freq  float64
+}
+
+// Name implements Parameter.
+func (p ACGain) Name() string { return p.Label }
+
+// Measure implements Parameter.
+func (p ACGain) Measure(c *mna.Circuit) (float64, error) {
+	return c.GainMag(p.Out, p.Freq)
+}
+
+// searchTol is the relative frequency resolution of peak and cut-off
+// searches.
+const searchTol = 1e-7
+
+// maxGain locates the gain peak on a log-frequency axis.
+func maxGain(c *mna.Circuit, out string, lo, hi float64) (fPeak, gPeak float64, err error) {
+	if lo <= 0 || hi <= lo {
+		return 0, 0, fmt.Errorf("analog: bad search range [%g, %g]", lo, hi)
+	}
+	var inner error
+	g := func(lf float64) float64 {
+		v, e := c.GainMag(out, math.Pow(10, lf))
+		if e != nil && inner == nil {
+			inner = e
+		}
+		return v
+	}
+	lf, gp := numeric.GoldenMax(g, math.Log10(lo), math.Log10(hi), searchTol)
+	if inner != nil {
+		return 0, 0, inner
+	}
+	return math.Pow(10, lf), gp, nil
+}
+
+// CenterFreq measures the frequency of maximum gain within [Lo, Hi] —
+// the band-pass f0 of Example 1.
+type CenterFreq struct {
+	Label  string
+	Out    string
+	Lo, Hi float64
+}
+
+// Name implements Parameter.
+func (p CenterFreq) Name() string { return p.Label }
+
+// Measure implements Parameter.
+func (p CenterFreq) Measure(c *mna.Circuit) (float64, error) {
+	f, _, err := maxGain(c, p.Out, p.Lo, p.Hi)
+	return f, err
+}
+
+// MaxGain measures the peak gain magnitude within [Lo, Hi].
+type MaxGain struct {
+	Label  string
+	Out    string
+	Lo, Hi float64
+}
+
+// Name implements Parameter.
+func (p MaxGain) Name() string { return p.Label }
+
+// Measure implements Parameter.
+func (p MaxGain) Measure(c *mna.Circuit) (float64, error) {
+	_, g, err := maxGain(c, p.Out, p.Lo, p.Hi)
+	return g, err
+}
+
+// CutoffSide selects which −3 dB crossing a CutoffFreq measures.
+type CutoffSide int
+
+// Cut-off sides.
+const (
+	LowSide  CutoffSide = iota // fc1: below the reference frequency
+	HighSide                   // fc2 / fh: above the reference frequency
+)
+
+// RefMode selects the 0 dB reference for the −3 dB definition.
+type RefMode int
+
+// Reference modes.
+const (
+	RefPeak   RefMode = iota // reference is the in-band peak gain (band-pass)
+	RefDC                    // reference is the DC gain (low-pass fh)
+	RefAtFreq                // reference is the gain at RefFreqHz (plateau probing)
+)
+
+// CutoffFreq measures a −3 dB cut-off frequency: the frequency on the
+// chosen side of the reference where the gain falls to ref/√2.
+type CutoffFreq struct {
+	Label     string
+	Out       string
+	Side      CutoffSide
+	Ref       RefMode
+	RefFreqHz float64 // reference frequency when Ref == RefAtFreq
+	Lo, Hi    float64 // search window (must contain the crossing)
+}
+
+// Name implements Parameter.
+func (p CutoffFreq) Name() string { return p.Label }
+
+// Measure implements Parameter.
+func (p CutoffFreq) Measure(c *mna.Circuit) (float64, error) {
+	var refGain, refFreq float64
+	switch p.Ref {
+	case RefDC:
+		g, err := c.GainMag(p.Out, 0)
+		if err != nil {
+			return 0, err
+		}
+		refGain, refFreq = g, p.Lo
+	case RefAtFreq:
+		g, err := c.GainMag(p.Out, p.RefFreqHz)
+		if err != nil {
+			return 0, err
+		}
+		refGain, refFreq = g, p.RefFreqHz
+	default:
+		f, g, err := maxGain(c, p.Out, p.Lo, p.Hi)
+		if err != nil {
+			return 0, err
+		}
+		refGain, refFreq = g, f
+	}
+	target := refGain / math.Sqrt2
+	var inner error
+	h := func(lf float64) float64 {
+		v, e := c.GainMag(p.Out, math.Pow(10, lf))
+		if e != nil && inner == nil {
+			inner = e
+		}
+		return v - target
+	}
+	var a, b float64
+	if p.Side == LowSide {
+		a, b = math.Log10(p.Lo), math.Log10(refFreq)
+	} else {
+		a, b = math.Log10(refFreq), math.Log10(p.Hi)
+	}
+	lf, err := numeric.Brent(h, a, b, searchTol)
+	if inner != nil {
+		return 0, inner
+	}
+	if err != nil {
+		return 0, fmt.Errorf("analog: %s: no -3 dB crossing in window: %w", p.Label, err)
+	}
+	return math.Pow(10, lf), nil
+}
+
+// InputImpedance measures |Z| seen by the circuit's named input source at
+// a fixed frequency — the "impedance" entry of the paper's list of analog
+// test quantities (gain, bandwidth, distortion, impedance, noise).
+type InputImpedance struct {
+	Label  string
+	Source string // voltage-source element name, e.g. "Vin"
+	Freq   float64
+}
+
+// Name implements Parameter.
+func (p InputImpedance) Name() string { return p.Label }
+
+// Measure implements Parameter.
+func (p InputImpedance) Measure(c *mna.Circuit) (float64, error) {
+	z, err := c.InputImpedance(p.Source, p.Freq)
+	if err != nil {
+		return 0, err
+	}
+	return cmplxAbs(z), nil
+}
+
+func cmplxAbs(z complex128) float64 { return math.Hypot(real(z), imag(z)) }
+
+// MeasureAll evaluates every parameter on the circuit's current values.
+func MeasureAll(c *mna.Circuit, params []Parameter) (map[string]float64, error) {
+	out := make(map[string]float64, len(params))
+	for _, p := range params {
+		v, err := p.Measure(c)
+		if err != nil {
+			return nil, fmt.Errorf("analog: measuring %s: %w", p.Name(), err)
+		}
+		out[p.Name()] = v
+	}
+	return out, nil
+}

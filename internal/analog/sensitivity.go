@@ -1,0 +1,149 @@
+package analog
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mna"
+	"repro/internal/numeric"
+)
+
+// ParamDeviation returns the relative deviation (T(δ) − T₀)/T₀ of the
+// parameter when the element's value is multiplied by (1 + δ), with every
+// other element at nominal. T₀ is measured on the unperturbed circuit.
+func ParamDeviation(c *mna.Circuit, elem string, p Parameter, delta float64) (float64, error) {
+	t0, err := p.Measure(c)
+	if err != nil {
+		return 0, err
+	}
+	if t0 == 0 {
+		return 0, fmt.Errorf("analog: parameter %s is zero at nominal; relative deviation undefined", p.Name())
+	}
+	restore := c.Perturb(elem, delta)
+	defer restore()
+	t1, err := p.Measure(c)
+	if err != nil {
+		return 0, err
+	}
+	return (t1 - t0) / t0, nil
+}
+
+// Sensitivity returns the normalised first-order sensitivity
+// S = (∂T/T)/(∂x/x), estimated by a central finite difference with
+// relative step h (1e-4 is a good default for the filters here).
+func Sensitivity(c *mna.Circuit, elem string, p Parameter, h float64) (float64, error) {
+	if h <= 0 {
+		h = 1e-4
+	}
+	up, err := ParamDeviation(c, elem, p, h)
+	if err != nil {
+		return 0, err
+	}
+	down, err := ParamDeviation(c, elem, p, -h)
+	if err != nil {
+		return 0, err
+	}
+	return (up - down) / (2 * h), nil
+}
+
+// EDOptions configures the worst-case element-deviation computation.
+type EDOptions struct {
+	// Tol is the parameter tolerance box half-width (the paper uses 5%,
+	// i.e. 0.05): a parameter is faulty when it leaves [−Tol, +Tol].
+	Tol float64
+	// ElemTol is the tolerance of fault-free elements (from the "data
+	// sheets"); their worst-case masking is added to the detection
+	// threshold. Zero disables masking.
+	ElemTol float64
+	// MaxDev bounds the search (as a fraction; 20 ≡ 2000%). Deviations
+	// beyond it are reported as unobservable (+Inf).
+	MaxDev float64
+	// Step is the finite-difference step for masking sensitivities.
+	Step float64
+}
+
+// DefaultEDOptions returns the paper's setup: 5% parameter boxes, 5%
+// fault-free element tolerances, searches capped at 2000%.
+func DefaultEDOptions() EDOptions {
+	return EDOptions{Tol: 0.05, ElemTol: 0.05, MaxDev: 20, Step: 1e-4}
+}
+
+// Unobservable marks an (element, parameter) pair whose deviation can
+// never be seen at that parameter.
+func Unobservable(ed float64) bool { return math.IsInf(ed, 1) }
+
+// WorstCaseED computes the worst-case element deviation of elem with
+// respect to parameter p: the smallest |δ| guaranteed to push the
+// parameter out of its tolerance box even when every fault-free element
+// masks the measurement by its own tolerance. others lists the fault-free
+// elements contributing masking. The result is a fraction (0.099 = 9.9%);
+// +Inf when no deviation up to MaxDev is observable.
+func WorstCaseED(c *mna.Circuit, elem string, p Parameter, others []string, opt EDOptions) (float64, error) {
+	// Worst-case masking slack: sum of |S_e| · tol_e over fault-free
+	// elements (first-order, as in the sensitivity-based method of [8]).
+	slack := 0.0
+	if opt.ElemTol > 0 {
+		for _, e := range others {
+			if e == elem {
+				continue
+			}
+			s, err := Sensitivity(c, e, p, opt.Step)
+			if err != nil {
+				return 0, err
+			}
+			slack += math.Abs(s) * opt.ElemTol
+		}
+	}
+	threshold := opt.Tol + slack
+
+	best := math.Inf(1)
+	for _, sign := range []float64{1, -1} {
+		d, err := smallestCrossing(c, elem, p, sign, threshold, opt.MaxDev)
+		if err != nil {
+			return 0, err
+		}
+		if d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// smallestCrossing finds the smallest |δ| with the given sign such that
+// |ΔT/T(δ)| ≥ threshold, or +Inf if none exists below maxDev.
+func smallestCrossing(c *mna.Circuit, elem string, p Parameter, sign, threshold, maxDev float64) (float64, error) {
+	var measureErr error
+	g := func(mag float64) float64 {
+		dev, err := ParamDeviation(c, elem, p, sign*mag)
+		if err != nil {
+			if measureErr == nil {
+				measureErr = err
+			}
+			return 0
+		}
+		return math.Abs(dev) - threshold
+	}
+	limit := maxDev
+	if sign < 0 {
+		// A negative deviation cannot exceed −100% (element value would
+		// go non-positive); stop just short of it.
+		if limit > 0.95 {
+			limit = 0.95
+		}
+	}
+	a, b, err := numeric.ExpandBracket(g, 0, 0.01, limit)
+	if measureErr != nil {
+		return 0, measureErr
+	}
+	if err != nil {
+		return math.Inf(1), nil // never crosses below the cap
+	}
+	x, err := numeric.Brent(g, a, b, 1e-6)
+	if measureErr != nil {
+		return 0, measureErr
+	}
+	if err != nil {
+		return math.Inf(1), nil
+	}
+	return x, nil
+}

@@ -1,0 +1,49 @@
+package atpg
+
+import "repro/internal/faults"
+
+// Compact performs reverse-order static compaction on a generated vector
+// set: vectors are fault-simulated newest-first with fault dropping, and
+// any vector that detects no not-yet-detected fault is discarded. Because
+// later ATPG vectors target the stubborn faults (the easy ones having
+// been dropped early), reverse order retires large detection sets first
+// and typically removes a sizeable share of the vectors without losing
+// coverage.
+//
+// The returned set preserves the relative order of the surviving vectors
+// and detects exactly the same faults of fs as the input set.
+func (g *Generator) Compact(vectors []faults.Vector, fs []faults.Fault) []faults.Vector {
+	sim := faults.NewSimulator(g.c)
+	detected := make([]bool, len(fs))
+	keep := make([]bool, len(vectors))
+	for vi := len(vectors) - 1; vi >= 0; vi-- {
+		// Remaining faults this vector might newly detect.
+		var remIdx []int
+		var rem []faults.Fault
+		for i, f := range fs {
+			if !detected[i] {
+				remIdx = append(remIdx, i)
+				rem = append(rem, f)
+			}
+		}
+		if len(rem) == 0 {
+			break
+		}
+		res := sim.Detect([]faults.Vector{vectors[vi]}, rem)
+		newly := false
+		for j, d := range res {
+			if d >= 0 {
+				detected[remIdx[j]] = true
+				newly = true
+			}
+		}
+		keep[vi] = newly
+	}
+	var out []faults.Vector
+	for i, v := range vectors {
+		if keep[i] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

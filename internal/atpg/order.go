@@ -1,0 +1,74 @@
+package atpg
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// StaticOrder computes a variable order for the circuit's primary inputs
+// by depth-first traversal of the fanin cones from each primary output —
+// the classic static ordering heuristic (Malik/Fujita style): inputs that
+// are structurally close in the netlist end up adjacent in the order,
+// which keeps the output OBDDs small. Inputs unreachable from any output
+// are appended in declaration order.
+func StaticOrder(c *logic.Circuit) []string {
+	visited := make([]bool, c.NumSignals())
+	var order []string
+	var dfs func(id logic.SigID)
+	dfs = func(id logic.SigID) {
+		if visited[id] {
+			return
+		}
+		visited[id] = true
+		s := c.Signal(id)
+		if s.Type == logic.TypeInput {
+			order = append(order, s.Name)
+			return
+		}
+		for _, f := range s.Fanin {
+			dfs(f)
+		}
+	}
+	for _, o := range c.Outputs() {
+		dfs(o)
+	}
+	for _, id := range c.Inputs() {
+		if !visited[id] {
+			order = append(order, c.Signal(id).Name)
+		}
+	}
+	return order
+}
+
+// WithVarOrder declares the primary-input BDD variables in the given
+// order instead of circuit input order. The order must be a permutation
+// of the input names; New returns an error otherwise. Combine with
+// StaticOrder for the DFS heuristic:
+//
+//	g, err := atpg.New(c, atpg.WithVarOrder(atpg.StaticOrder(c)))
+func WithVarOrder(order []string) Option {
+	return func(c *config) { c.varOrder = append([]string(nil), order...) }
+}
+
+// validateOrder checks that order is a permutation of the circuit inputs.
+func validateOrder(c *logic.Circuit, order []string) error {
+	want := map[string]bool{}
+	for _, n := range c.InputNames() {
+		want[n] = true
+	}
+	if len(order) != len(want) {
+		return fmt.Errorf("atpg: variable order has %d names for %d inputs", len(order), len(want))
+	}
+	seen := map[string]bool{}
+	for _, n := range order {
+		if !want[n] {
+			return fmt.Errorf("atpg: order names unknown input %q", n)
+		}
+		if seen[n] {
+			return fmt.Errorf("atpg: order repeats input %q", n)
+		}
+		seen[n] = true
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package atpg
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/iscas"
+	"repro/internal/logic"
+)
+
+func TestStaticOrderIsPermutation(t *testing.T) {
+	c := iscas.MustBenchmark("c432")
+	order := StaticOrder(c)
+	want := append([]string(nil), c.InputNames()...)
+	got := append([]string(nil), order...)
+	sort.Strings(want)
+	sort.Strings(got)
+	if strings.Join(want, ",") != strings.Join(got, ",") {
+		t.Error("StaticOrder is not a permutation of the inputs")
+	}
+}
+
+func TestStaticOrderGroupsCones(t *testing.T) {
+	// Two disjoint cones: out1 over (a, b), out2 over (c, d), declared
+	// interleaved. DFS order must group each cone's inputs together.
+	c := logic.New("cones")
+	c.AddInput("a")
+	c.AddInput("c")
+	c.AddInput("b")
+	c.AddInput("d")
+	c.AddGate("out1", logic.TypeAnd, "a", "b")
+	c.AddGate("out2", logic.TypeOr, "c", "d")
+	c.MarkOutput("out1")
+	c.MarkOutput("out2")
+	c.MustFreeze()
+	order := StaticOrder(c)
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	gap1 := pos["a"] - pos["b"]
+	if gap1 < 0 {
+		gap1 = -gap1
+	}
+	gap2 := pos["c"] - pos["d"]
+	if gap2 < 0 {
+		gap2 = -gap2
+	}
+	if gap1 != 1 || gap2 != 1 {
+		t.Errorf("cone inputs not adjacent in %v", order)
+	}
+}
+
+func TestStaticOrderAppendsUnreachableInputs(t *testing.T) {
+	c := logic.New("dangling")
+	c.AddInput("used")
+	c.AddInput("unused")
+	c.AddGate("y", logic.TypeNot, "used")
+	c.MarkOutput("y")
+	c.MustFreeze()
+	order := StaticOrder(c)
+	if len(order) != 2 || order[0] != "used" || order[1] != "unused" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestWithVarOrderEquivalentResults(t *testing.T) {
+	// The ATPG outcome (testable/untestable classification) must not
+	// depend on the variable order — only BDD sizes may differ.
+	c := iscas.Fig3()
+	fs := faults.Stems(c)
+	gNat, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resNat := gNat.Run(fs)
+
+	rev := c.InputNames()
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	gRev, err := New(c, WithVarOrder(rev))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resRev := gRev.Run(fs)
+	if len(resNat.Untestable) != len(resRev.Untestable) {
+		t.Errorf("untestable differs across orders: %d vs %d",
+			len(resNat.Untestable), len(resRev.Untestable))
+	}
+	if resNat.Detected != resRev.Detected {
+		t.Errorf("detected differs across orders: %d vs %d", resNat.Detected, resRev.Detected)
+	}
+}
+
+func TestWithVarOrderValidation(t *testing.T) {
+	c := iscas.Fig3()
+	if _, err := New(c, WithVarOrder([]string{"l0"})); err == nil {
+		t.Error("short order must fail")
+	}
+	if _, err := New(c, WithVarOrder([]string{"l0", "l1", "l2", "zz"})); err == nil {
+		t.Error("unknown name must fail")
+	}
+	if _, err := New(c, WithVarOrder([]string{"l0", "l0", "l2", "l4"})); err == nil {
+		t.Error("repeated name must fail")
+	}
+}
+
+func TestStaticOrderKeepsBDDsSmall(t *testing.T) {
+	// On every benchmark, the DFS order must stay within a modest factor
+	// of the natural order's peak node count (the generator's banded
+	// lanes make the natural order near-optimal; DFS must not destroy
+	// that).
+	for _, name := range []string{"c432", "c880"} {
+		c := iscas.MustBenchmark(name)
+		gNat, err := New(c)
+		if err != nil {
+			t.Fatalf("%s natural: %v", name, err)
+		}
+		gDfs, err := New(c, WithVarOrder(StaticOrder(c)))
+		if err != nil {
+			t.Fatalf("%s dfs: %v", name, err)
+		}
+		nat := gNat.Manager().Size()
+		dfs := gDfs.Manager().Size()
+		if dfs > nat*4 {
+			t.Errorf("%s: DFS order ballooned the BDDs: %d vs %d", name, dfs, nat)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package atpg
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/bdd"
+	"repro/internal/faults"
+)
+
+// Result summarises one ATPG run, mirroring the columns of Table 4 of the
+// paper: number of untestable faults, number of vectors and CPU time.
+type Result struct {
+	Vectors    []faults.Vector
+	Untestable []faults.Fault
+	Aborted    []faults.Fault // node-limit hit while building the cone
+	Detected   int
+	Total      int
+	CPU        time.Duration
+	PeakNodes  int
+	RandomHits int // faults dropped by the optional random phase
+}
+
+// Coverage returns detected / (total − untestable), the usual fault-
+// coverage figure excluding provably untestable faults.
+func (r *Result) Coverage() float64 {
+	den := r.Total - len(r.Untestable)
+	if den <= 0 {
+		return 1
+	}
+	return float64(r.Detected) / float64(den)
+}
+
+// RunOption configures an ATPG run.
+type RunOption func(*runConfig)
+
+type runConfig struct {
+	randomVectors int
+	randomSeed    int64
+}
+
+// WithRandomPhase prepends n random vectors (legal only when the circuit
+// has no constraints — the paper notes a random pattern can only be
+// simulated if it satisfies Fc, so with constraints the run stays fully
+// deterministic; random vectors violating Fc are discarded here).
+func WithRandomPhase(n int, seed int64) RunOption {
+	return func(c *runConfig) { c.randomVectors = n; c.randomSeed = seed }
+}
+
+// Run generates tests for every fault in fs with fault dropping: each new
+// vector is fault-simulated against the remaining faults, and faults it
+// detects are never targeted. The vector set therefore detects every
+// testable fault in fs.
+func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
+	cfg := runConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	start := time.Now()
+	res := &Result{Total: len(fs)}
+	sim := faults.NewSimulator(g.c)
+
+	// state: 0 = pending, 1 = detected, 2 = untestable, 3 = aborted
+	state := make([]byte, len(fs))
+	pendingIdx := func() []int {
+		var idx []int
+		for i, st := range state {
+			if st == 0 {
+				idx = append(idx, i)
+			}
+		}
+		return idx
+	}
+	dropWith := func(v faults.Vector, markRandom bool) {
+		idx := pendingIdx()
+		rem := make([]faults.Fault, len(idx))
+		for j, i := range idx {
+			rem[j] = fs[i]
+		}
+		det := sim.Detect([]faults.Vector{v}, rem)
+		for j, d := range det {
+			if d >= 0 {
+				state[idx[j]] = 1
+				res.Detected++
+				if markRandom {
+					res.RandomHits++
+				}
+			}
+		}
+	}
+
+	// Optional random phase.
+	if cfg.randomVectors > 0 {
+		rng := rand.New(rand.NewSource(cfg.randomSeed))
+		nIn := len(g.c.Inputs())
+		for k := 0; k < cfg.randomVectors; k++ {
+			v := make(faults.Vector, nIn)
+			for i := range v {
+				v[i] = rng.Intn(2) == 1
+			}
+			if g.constraint != bdd.True {
+				// Only patterns satisfying Fc may be applied.
+				if !g.m.Eval(g.constraint, v.Assignment(g.c)) {
+					continue
+				}
+			}
+			before := res.Detected
+			dropWith(v, true)
+			if res.Detected > before {
+				res.Vectors = append(res.Vectors, v)
+			}
+		}
+	}
+
+	// Deterministic phase.
+	for i := range fs {
+		if state[i] != 0 {
+			continue
+		}
+		var v faults.Vector
+		var ok bool
+		err := bdd.Guard(func() error {
+			v, ok = g.GenerateVector(fs[i])
+			return nil
+		})
+		if err != nil {
+			state[i] = 3
+			res.Aborted = append(res.Aborted, fs[i])
+			continue
+		}
+		if !ok {
+			state[i] = 2
+			res.Untestable = append(res.Untestable, fs[i])
+			continue
+		}
+		res.Vectors = append(res.Vectors, v)
+		dropWith(v, false)
+		if state[i] == 0 {
+			// The generated vector must detect its target; treat a miss
+			// as an internal inconsistency loudly rather than silently.
+			panic("atpg: generated vector does not detect its target fault")
+		}
+	}
+	res.CPU = time.Since(start)
+	res.PeakNodes = g.m.PeakSize()
+	return res
+}
+
+// AllowedAssignments builds a constraint function as a sum of product
+// terms — the paper's formulation of Fc: "each product term represents an
+// allowed assignment to the lines depending on the analog part". names
+// selects the constrained variables (in row bit order) and each row lists
+// one allowed combination.
+func AllowedAssignments(m *bdd.Manager, names []string, rows [][]bool) bdd.Ref {
+	fc := bdd.False
+	for _, row := range rows {
+		term := bdd.True
+		for i, name := range names {
+			v := m.Var(name)
+			if row[i] {
+				term = m.And(term, v)
+			} else {
+				term = m.And(term, m.Not(v))
+			}
+		}
+		fc = m.Or(fc, term)
+	}
+	return fc
+}

@@ -1,0 +1,166 @@
+package atpg
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/faults"
+	"repro/internal/logic"
+)
+
+// FaultyOutputsSet recomputes the output functions with every fault of
+// the set injected simultaneously — the model of one sequential stuck-at
+// fault in a time-frame-expanded circuit, where the same physical line is
+// stuck in every frame.
+func (g *Generator) FaultyOutputsSet(fs []faults.Fault) map[logic.SigID]bdd.Ref {
+	faulty := map[logic.SigID]bdd.Ref{}
+	inCone := map[logic.SigID]bool{}
+	branchForce := map[[2]logic.SigID]bdd.Ref{}
+	for _, f := range fs {
+		forced := bdd.Constant(f.Value)
+		if f.Consumer < 0 {
+			faulty[f.Signal] = forced
+			for id := range g.c.Cone(f.Signal) {
+				inCone[id] = true
+			}
+		} else {
+			branchForce[[2]logic.SigID{f.Signal, f.Consumer}] = forced
+			for id := range g.c.Cone(f.Consumer) {
+				inCone[id] = true
+			}
+		}
+	}
+	// Re-evaluate every cone member in topological order. Stem-forced
+	// signals keep their constant; everything else is recomputed from
+	// (possibly faulty, possibly branch-forced) fanins.
+	stemForced := map[logic.SigID]bool{}
+	for _, f := range fs {
+		if f.Consumer < 0 {
+			stemForced[f.Signal] = true
+		}
+	}
+	for _, id := range g.c.TopoOrder() {
+		if !inCone[id] || stemForced[id] {
+			continue
+		}
+		s := g.c.Signal(id)
+		fanins := make([]bdd.Ref, len(s.Fanin))
+		for i, fi := range s.Fanin {
+			if forced, ok := branchForce[[2]logic.SigID{fi, id}]; ok {
+				fanins[i] = forced
+			} else if fv, ok := faulty[fi]; ok {
+				fanins[i] = fv
+			} else {
+				fanins[i] = g.good[fi]
+			}
+		}
+		faulty[id] = g.gateBDD(s.Type, fanins)
+	}
+	out := map[logic.SigID]bdd.Ref{}
+	for _, o := range g.c.Outputs() {
+		if fv, ok := faulty[o]; ok {
+			out[o] = fv
+		}
+	}
+	return out
+}
+
+// TestFunctionSet returns the constrained test function for a multi-site
+// fault (all sites active at once): S = Fc · Σ_o (F_o ⊕ F_o^faulty).
+func (g *Generator) TestFunctionSet(fs []faults.Fault) bdd.Ref {
+	fo := g.FaultyOutputsSet(fs)
+	s := bdd.False
+	for o, fv := range fo {
+		diff := g.m.Xor(g.good[o], fv)
+		s = g.m.Or(s, g.m.And(g.constraint, diff))
+		if s == g.constraint && g.constraint != bdd.False {
+			break
+		}
+	}
+	return s
+}
+
+// GenerateVectorSet produces one vector detecting the multi-site fault,
+// or ok=false when it is untestable under the active constraint.
+func (g *Generator) GenerateVectorSet(fs []faults.Fault) (faults.Vector, bool) {
+	s := g.TestFunctionSet(fs)
+	assign, ok := g.m.SatOneConstrained(s, g.inputNames)
+	if !ok {
+		return nil, false
+	}
+	return faults.VectorFromAssignment(g.c, assign), true
+}
+
+// FrameFaults maps one stuck-at fault of a sequential circuit's core onto
+// the corresponding fault set of its unrolled expansion: the same line,
+// stuck in every time frame. The unrolled circuit must come from
+// SeqCircuit.Unroll with the given frame count.
+func FrameFaults(seq *logic.SeqCircuit, unrolled *logic.Circuit, f faults.Fault, frames int) ([]faults.Fault, error) {
+	name := seq.Core.Signal(f.Signal).Name
+	var consumerName string
+	if f.Consumer >= 0 {
+		consumerName = seq.Core.Signal(f.Consumer).Name
+	}
+	var out []faults.Fault
+	for t := 0; t < frames; t++ {
+		sid, ok := unrolled.SigByName(logic.FrameName(name, t))
+		if !ok {
+			// Frame-0 state inputs may be constants; a fault on a
+			// constant-replaced state line only exists from frame 1 on.
+			continue
+		}
+		ff := faults.Fault{Signal: sid, Consumer: -1, Value: f.Value}
+		if f.Consumer >= 0 {
+			cid, ok := unrolled.SigByName(logic.FrameName(consumerName, t))
+			if !ok {
+				continue
+			}
+			ff.Consumer = cid
+		}
+		out = append(out, ff)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("atpg: fault %s has no site in the unrolled circuit", f.Name(seq.Core))
+	}
+	return out, nil
+}
+
+// SequentialResult summarises a time-frame-expanded ATPG run.
+type SequentialResult struct {
+	Frames     int
+	Total      int
+	Detected   int
+	Untestable []faults.Fault // in core coordinates
+	Vectors    []faults.Vector
+}
+
+// RunSequential generates tests for every core fault of the sequential
+// circuit using time-frame expansion with the given frame count and
+// initial state. Faults still untestable at this depth are reported (a
+// larger frame count may detect them).
+func RunSequential(seq *logic.SeqCircuit, fs []faults.Fault, frames int, initial map[string]bool) (*SequentialResult, error) {
+	unrolled, err := seq.Unroll(frames, initial)
+	if err != nil {
+		return nil, err
+	}
+	g, err := New(unrolled)
+	if err != nil {
+		return nil, err
+	}
+	res := &SequentialResult{Frames: frames, Total: len(fs)}
+	for _, f := range fs {
+		sites, err := FrameFaults(seq, unrolled, f, frames)
+		if err != nil {
+			res.Untestable = append(res.Untestable, f)
+			continue
+		}
+		v, ok := g.GenerateVectorSet(sites)
+		if !ok {
+			res.Untestable = append(res.Untestable, f)
+			continue
+		}
+		res.Detected++
+		res.Vectors = append(res.Vectors, v)
+	}
+	return res, nil
+}

@@ -1,0 +1,97 @@
+package bdd
+
+import "fmt"
+
+// This file provides small word-level helpers over BDD bit vectors
+// (least-significant bit first). They power the digital→DAC→analog
+// extension flow, where a digital fault is only observable when the DAC
+// input codes of the good and faulty circuit differ by at least a
+// measurement threshold τ (in LSB).
+
+// EqualVec returns the BDD of "A == B" for two equally long bit vectors.
+func (m *Manager) EqualVec(a, b []Ref) Ref {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("bdd: EqualVec over %d and %d bits", len(a), len(b)))
+	}
+	eq := True
+	for i := range a {
+		eq = m.And(eq, m.Xnor(a[i], b[i]))
+	}
+	return eq
+}
+
+// Sub computes the two's-complement difference A − B of two equally long
+// bit vectors, returning the difference bits (same width) and the final
+// borrow (1 ⟺ B > A, i.e. the sign of the true difference).
+func (m *Manager) Sub(a, b []Ref) (diff []Ref, borrow Ref) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("bdd: Sub over %d and %d bits", len(a), len(b)))
+	}
+	borrow = False
+	diff = make([]Ref, len(a))
+	for i := range a {
+		axb := m.Xor(a[i], b[i])
+		diff[i] = m.Xor(axb, borrow)
+		// borrow out = (¬a ∧ b) ∨ (borrow ∧ ¬(a ⊕ b))
+		borrow = m.Or(m.And(m.Not(a[i]), b[i]), m.And(borrow, m.Not(axb)))
+	}
+	return diff, borrow
+}
+
+// GEConst returns the BDD of "unsigned(bits) ≥ k".
+func (m *Manager) GEConst(bits []Ref, k uint64) Ref {
+	if k == 0 {
+		return True
+	}
+	if len(bits) < 64 && k >= uint64(1)<<uint(len(bits)) {
+		return False
+	}
+	// MSB-first comparison: gt accumulates "already strictly greater",
+	// eq "still equal so far".
+	gt, eq := False, True
+	for i := len(bits) - 1; i >= 0; i-- {
+		kb := k&(uint64(1)<<uint(i)) != 0
+		if kb {
+			eq = m.And(eq, bits[i])
+		} else {
+			gt = m.Or(gt, m.And(eq, bits[i]))
+			eq = m.And(eq, m.Not(bits[i]))
+		}
+	}
+	return m.Or(gt, eq) // eq means bits == k, which satisfies ≥
+}
+
+// LEConst returns the BDD of "unsigned(bits) ≤ k".
+func (m *Manager) LEConst(bits []Ref, k uint64) Ref {
+	// bits ≤ k ⟺ ¬(bits ≥ k+1); watch for overflow at all-ones.
+	if len(bits) < 64 && k >= uint64(1)<<uint(len(bits))-1 {
+		return True
+	}
+	return m.Not(m.GEConst(bits, k+1))
+}
+
+// DiffMagnitudeGE returns the BDD of "|unsigned(A) − unsigned(B)| ≥ tau"
+// over two equally long bit vectors. tau = 0 yields True; tau = 1 is
+// simply "A ≠ B".
+func (m *Manager) DiffMagnitudeGE(a, b []Ref, tau uint64) Ref {
+	if tau == 0 {
+		return True
+	}
+	if tau == 1 {
+		return m.Not(m.EqualVec(a, b))
+	}
+	diff, borrow := m.Sub(a, b)
+	n := uint(len(a))
+	// borrow = 0: A ≥ B, |A−B| = diff → need diff ≥ tau.
+	geWhenPos := m.And(m.Not(borrow), m.GEConst(diff, tau))
+	// borrow = 1: B > A, diff holds (A−B) mod 2^n = 2^n − (B−A);
+	// |A−B| ≥ tau ⟺ diff ≤ 2^n − tau.
+	var geWhenNeg Ref
+	if n < 64 && tau > uint64(1)<<n {
+		geWhenNeg = False
+	} else {
+		limit := uint64(1)<<n - tau
+		geWhenNeg = m.And(borrow, m.LEConst(diff, limit))
+	}
+	return m.Or(geWhenPos, geWhenNeg)
+}

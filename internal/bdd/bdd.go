@@ -1,0 +1,444 @@
+// Package bdd implements reduced ordered binary decision diagrams (OBDDs)
+// with a hash-consed unique table and a memoized ITE operator.
+//
+// It provides the algebraic machinery the paper's test generator is built
+// on: boolean combination of line functions, the boolean difference
+// (computed as an XOR of good/faulty functions), constraint-function
+// conjunction, satisfiability queries for vector extraction, and support
+// analysis for composite-value (D) propagation. Following the paper, the
+// special variable D is created *last* in the variable order so that it
+// sits at the bottom of every diagram.
+//
+// A Manager owns an arena of nodes and is not safe for concurrent use.
+// Node references (Ref) are only meaningful for the manager that produced
+// them.
+package bdd
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ref identifies a BDD node inside its Manager. The constants False and
+// True are the terminal nodes and are shared by all managers.
+type Ref int32
+
+// Terminal nodes.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+const terminalLevel = int32(1) << 30
+
+// node is one decision node: if var(level) then hi else lo.
+type node struct {
+	level int32
+	lo    Ref
+	hi    Ref
+}
+
+type opKey struct {
+	op      uint8
+	f, g, h Ref
+}
+
+const (
+	opITE uint8 = iota
+	opExists
+	opRestrict
+)
+
+// LimitError is the panic value raised when a Manager exceeds its node
+// limit. Callers building potentially explosive diagrams should wrap the
+// construction in Guard.
+type LimitError struct {
+	Limit int
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("bdd: node limit %d exceeded", e.Limit)
+}
+
+// Manager owns the unique table, the operation cache and the variable
+// order of a family of BDDs.
+type Manager struct {
+	vars     []string
+	varIdx   map[string]int
+	nodes    []node
+	unique   map[node]Ref
+	cache    map[opKey]Ref
+	limit    int
+	peakSize int
+}
+
+// DefaultNodeLimit is the node budget of managers created with New.
+const DefaultNodeLimit = 8 << 20
+
+// New creates an empty manager with the default node limit.
+func New() *Manager { return NewWithLimit(DefaultNodeLimit) }
+
+// NewWithLimit creates an empty manager that will panic with *LimitError
+// once its arena holds more than limit nodes.
+func NewWithLimit(limit int) *Manager {
+	m := &Manager{
+		varIdx: map[string]int{},
+		unique: map[node]Ref{},
+		cache:  map[opKey]Ref{},
+		limit:  limit,
+	}
+	// Terminal nodes occupy slots 0 and 1.
+	m.nodes = append(m.nodes,
+		node{level: terminalLevel},
+		node{level: terminalLevel})
+	return m
+}
+
+// Size returns the number of live nodes in the arena (including the two
+// terminals).
+func (m *Manager) Size() int { return len(m.nodes) }
+
+// PeakSize returns the largest arena size observed.
+func (m *Manager) PeakSize() int {
+	if len(m.nodes) > m.peakSize {
+		m.peakSize = len(m.nodes)
+	}
+	return m.peakSize
+}
+
+// NumVars returns the number of declared variables.
+func (m *Manager) NumVars() int { return len(m.vars) }
+
+// VarName returns the name of the variable at the given level.
+func (m *Manager) VarName(level int) string { return m.vars[level] }
+
+// VarLevel returns the level of a declared variable and whether it exists.
+func (m *Manager) VarLevel(name string) (int, bool) {
+	l, ok := m.varIdx[name]
+	return l, ok
+}
+
+// Var declares (or retrieves) a variable by name and returns the BDD for
+// the literal "name". Declaration order is variable order: earlier
+// declarations sit higher in the diagrams. Per the paper's convention the
+// D variable must therefore be declared after all primary inputs.
+func (m *Manager) Var(name string) Ref {
+	if l, ok := m.varIdx[name]; ok {
+		return m.mk(int32(l), False, True)
+	}
+	l := len(m.vars)
+	m.vars = append(m.vars, name)
+	m.varIdx[name] = l
+	return m.mk(int32(l), False, True)
+}
+
+// NVar is a shorthand for Not(Var(name)).
+func (m *Manager) NVar(name string) Ref { return m.Not(m.Var(name)) }
+
+// Constant returns the terminal for b.
+func Constant(b bool) Ref {
+	if b {
+		return True
+	}
+	return False
+}
+
+// IsConst reports whether f is a terminal node.
+func IsConst(f Ref) bool { return f == False || f == True }
+
+// mk returns the canonical node (level, lo, hi), applying the reduction
+// rules (no redundant tests, hash consing).
+func (m *Manager) mk(level int32, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	key := node{level: level, lo: lo, hi: hi}
+	if r, ok := m.unique[key]; ok {
+		return r
+	}
+	if len(m.nodes) >= m.limit {
+		panic(&LimitError{Limit: m.limit})
+	}
+	r := Ref(len(m.nodes))
+	m.nodes = append(m.nodes, key)
+	m.unique[key] = r
+	if len(m.nodes) > m.peakSize {
+		m.peakSize = len(m.nodes)
+	}
+	return r
+}
+
+func (m *Manager) level(f Ref) int32 { return m.nodes[f].level }
+
+// ITE computes if-then-else(f, g, h), the universal binary/ternary BDD
+// operator.
+func (m *Manager) ITE(f, g, h Ref) Ref {
+	// Terminal cases.
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	key := opKey{op: opITE, f: f, g: g, h: h}
+	if r, ok := m.cache[key]; ok {
+		return r
+	}
+	// Split on the top variable of the three operands.
+	top := m.level(f)
+	if l := m.level(g); l < top {
+		top = l
+	}
+	if l := m.level(h); l < top {
+		top = l
+	}
+	f0, f1 := m.cofactors(f, top)
+	g0, g1 := m.cofactors(g, top)
+	h0, h1 := m.cofactors(h, top)
+	lo := m.ITE(f0, g0, h0)
+	hi := m.ITE(f1, g1, h1)
+	r := m.mk(top, lo, hi)
+	m.cache[key] = r
+	return r
+}
+
+// cofactors returns (f|var=0, f|var=1) for the variable at the given
+// level, assuming level <= level(f).
+func (m *Manager) cofactors(f Ref, level int32) (lo, hi Ref) {
+	n := m.nodes[f]
+	if n.level != level {
+		return f, f
+	}
+	return n.lo, n.hi
+}
+
+// Not returns ¬f.
+func (m *Manager) Not(f Ref) Ref { return m.ITE(f, False, True) }
+
+// And returns f ∧ g.
+func (m *Manager) And(f, g Ref) Ref { return m.ITE(f, g, False) }
+
+// Or returns f ∨ g.
+func (m *Manager) Or(f, g Ref) Ref { return m.ITE(f, True, g) }
+
+// Xor returns f ⊕ g.
+func (m *Manager) Xor(f, g Ref) Ref { return m.ITE(f, m.Not(g), g) }
+
+// Xnor returns ¬(f ⊕ g).
+func (m *Manager) Xnor(f, g Ref) Ref { return m.ITE(f, g, m.Not(g)) }
+
+// Implies returns f → g.
+func (m *Manager) Implies(f, g Ref) Ref { return m.ITE(f, g, True) }
+
+// Nand returns ¬(f ∧ g).
+func (m *Manager) Nand(f, g Ref) Ref { return m.Not(m.And(f, g)) }
+
+// Nor returns ¬(f ∨ g).
+func (m *Manager) Nor(f, g Ref) Ref { return m.Not(m.Or(f, g)) }
+
+// AndN folds And over its operands; AndN() = True.
+func (m *Manager) AndN(fs ...Ref) Ref {
+	acc := True
+	for _, f := range fs {
+		acc = m.And(acc, f)
+		if acc == False {
+			return False
+		}
+	}
+	return acc
+}
+
+// OrN folds Or over its operands; OrN() = False.
+func (m *Manager) OrN(fs ...Ref) Ref {
+	acc := False
+	for _, f := range fs {
+		acc = m.Or(acc, f)
+		if acc == True {
+			return True
+		}
+	}
+	return acc
+}
+
+// Restrict returns f with the named variable fixed to val.
+func (m *Manager) Restrict(f Ref, name string, val bool) Ref {
+	l, ok := m.varIdx[name]
+	if !ok {
+		return f
+	}
+	return m.restrictLevel(f, int32(l), val)
+}
+
+func (m *Manager) restrictLevel(f Ref, level int32, val bool) Ref {
+	if IsConst(f) || m.level(f) > level {
+		return f
+	}
+	sel := False
+	if val {
+		sel = True
+	}
+	key := opKey{op: opRestrict, f: f, g: m.mk(level, False, True), h: sel}
+	if r, ok := m.cache[key]; ok {
+		return r
+	}
+	n := m.nodes[f]
+	var r Ref
+	if n.level == level {
+		if val {
+			r = n.hi
+		} else {
+			r = n.lo
+		}
+	} else {
+		r = m.mk(n.level,
+			m.restrictLevel(n.lo, level, val),
+			m.restrictLevel(n.hi, level, val))
+	}
+	m.cache[key] = r
+	return r
+}
+
+// Compose substitutes g for the named variable inside f.
+func (m *Manager) Compose(f Ref, name string, g Ref) Ref {
+	l, ok := m.varIdx[name]
+	if !ok {
+		return f
+	}
+	hi := m.restrictLevel(f, int32(l), true)
+	lo := m.restrictLevel(f, int32(l), false)
+	return m.ITE(g, hi, lo)
+}
+
+// Exists existentially quantifies the named variable out of f.
+func (m *Manager) Exists(f Ref, name string) Ref {
+	l, ok := m.varIdx[name]
+	if !ok {
+		return f
+	}
+	key := opKey{op: opExists, f: f, g: m.mk(int32(l), False, True)}
+	if r, ok := m.cache[key]; ok {
+		return r
+	}
+	r := m.Or(m.restrictLevel(f, int32(l), false), m.restrictLevel(f, int32(l), true))
+	m.cache[key] = r
+	return r
+}
+
+// ExistsAll quantifies a set of variables out of f.
+func (m *Manager) ExistsAll(f Ref, names []string) Ref {
+	for _, n := range names {
+		f = m.Exists(f, n)
+	}
+	return f
+}
+
+// Forall universally quantifies the named variable out of f.
+func (m *Manager) Forall(f Ref, name string) Ref {
+	return m.Not(m.Exists(m.Not(f), name))
+}
+
+// BooleanDifference returns ∂f/∂x = f|x=0 ⊕ f|x=1, the classic test-
+// generation propagation condition used throughout the paper.
+func (m *Manager) BooleanDifference(f Ref, name string) Ref {
+	return m.Xor(m.Restrict(f, name, false), m.Restrict(f, name, true))
+}
+
+// Support returns the sorted names of the variables f depends on. This is
+// the query the paper uses to decide whether a composite value D reached a
+// primary output ("if the OBDD generated contains D, the fault can be
+// tested").
+func (m *Manager) Support(f Ref) []string {
+	seen := map[Ref]bool{}
+	levels := map[int32]bool{}
+	var walk func(Ref)
+	walk = func(r Ref) {
+		if IsConst(r) || seen[r] {
+			return
+		}
+		seen[r] = true
+		n := m.nodes[r]
+		levels[n.level] = true
+		walk(n.lo)
+		walk(n.hi)
+	}
+	walk(f)
+	var names []string
+	for l := range levels {
+		names = append(names, m.vars[l])
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DependsOn reports whether f depends on the named variable.
+func (m *Manager) DependsOn(f Ref, name string) bool {
+	l, ok := m.varIdx[name]
+	if !ok {
+		return false
+	}
+	target := int32(l)
+	seen := map[Ref]bool{}
+	var walk func(Ref) bool
+	walk = func(r Ref) bool {
+		if IsConst(r) || seen[r] || m.level(r) > target {
+			return false
+		}
+		seen[r] = true
+		n := m.nodes[r]
+		if n.level == target {
+			return true
+		}
+		return walk(n.lo) || walk(n.hi)
+	}
+	return walk(f)
+}
+
+// NodeCount returns the number of distinct decision nodes in f (terminals
+// excluded).
+func (m *Manager) NodeCount(f Ref) int {
+	seen := map[Ref]bool{}
+	var walk func(Ref)
+	walk = func(r Ref) {
+		if IsConst(r) || seen[r] {
+			return
+		}
+		seen[r] = true
+		walk(m.nodes[r].lo)
+		walk(m.nodes[r].hi)
+	}
+	walk(f)
+	return len(seen)
+}
+
+// Eval evaluates f under the assignment; variables absent from the map
+// default to false.
+func (m *Manager) Eval(f Ref, assign map[string]bool) bool {
+	for !IsConst(f) {
+		n := m.nodes[f]
+		if assign[m.vars[n.level]] {
+			f = n.hi
+		} else {
+			f = n.lo
+		}
+	}
+	return f == True
+}
+
+// Guard runs fn, converting a node-limit panic into an error. Any other
+// panic is re-raised.
+func Guard(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if le, ok := r.(*LimitError); ok {
+				err = le
+				return
+			}
+			panic(r)
+		}
+	}()
+	return fn()
+}

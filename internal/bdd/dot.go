@@ -1,0 +1,103 @@
+package bdd
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Dot writes f (and optionally further roots) in Graphviz DOT format, the
+// way Figure 6 of the paper draws the OBDDs of Vo1 and Vo2. Solid edges
+// are the 1-branch, dashed edges the 0-branch. Roots are labelled with the
+// provided names; len(names) must equal len(roots).
+func (m *Manager) Dot(w io.Writer, names []string, roots []Ref) error {
+	if len(names) != len(roots) {
+		return fmt.Errorf("bdd: Dot: %d names for %d roots", len(names), len(roots))
+	}
+	var b strings.Builder
+	b.WriteString("digraph bdd {\n")
+	b.WriteString("  rankdir=TB;\n")
+	b.WriteString("  node [shape=circle];\n")
+	b.WriteString("  f0 [shape=box,label=\"0\"];\n")
+	b.WriteString("  f1 [shape=box,label=\"1\"];\n")
+
+	id := func(r Ref) string {
+		switch r {
+		case False:
+			return "f0"
+		case True:
+			return "f1"
+		}
+		return fmt.Sprintf("n%d", r)
+	}
+
+	emitted := map[Ref]bool{}
+	var order []Ref
+	var walk func(Ref)
+	walk = func(r Ref) {
+		if IsConst(r) || emitted[r] {
+			return
+		}
+		emitted[r] = true
+		order = append(order, r)
+		walk(m.nodes[r].lo)
+		walk(m.nodes[r].hi)
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, r := range order {
+		n := m.nodes[r]
+		fmt.Fprintf(&b, "  %s [label=%q];\n", id(r), m.vars[n.level])
+	}
+	for _, r := range order {
+		n := m.nodes[r]
+		fmt.Fprintf(&b, "  %s -> %s [style=dashed];\n", id(r), id(n.lo))
+		fmt.Fprintf(&b, "  %s -> %s;\n", id(r), id(n.hi))
+	}
+	for i, r := range roots {
+		fmt.Fprintf(&b, "  root%d [shape=plaintext,label=%q];\n", i, names[i])
+		fmt.Fprintf(&b, "  root%d -> %s;\n", i, id(r))
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders f as a sum-of-cubes expression for debugging and the
+// worked examples. Cubes are the paths to True, with ¬ shown as '.
+func (m *Manager) String(f Ref) string {
+	switch f {
+	case False:
+		return "0"
+	case True:
+		return "1"
+	}
+	var cubes []string
+	var lits []string
+	var walk func(Ref)
+	walk = func(r Ref) {
+		if r == False {
+			return
+		}
+		if r == True {
+			if len(lits) == 0 {
+				cubes = append(cubes, "1")
+			} else {
+				cubes = append(cubes, strings.Join(lits, "·"))
+			}
+			return
+		}
+		n := m.nodes[r]
+		name := m.vars[n.level]
+		lits = append(lits, name+"'")
+		walk(n.lo)
+		lits[len(lits)-1] = name
+		walk(n.hi)
+		lits = lits[:len(lits)-1]
+	}
+	walk(f)
+	return strings.Join(cubes, " + ")
+}

@@ -1,0 +1,193 @@
+package bdd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Save writes the named functions in a stable, line-oriented text format:
+//
+//	bdd1
+//	vars <n>
+//	<var name>            (n lines, in manager order)
+//	nodes <m>
+//	<level> <lo> <hi>     (m lines; lo/hi reference 0=False, 1=True,
+//	                       or 2+k for the k-th node line)
+//	roots <r>
+//	<name> <ref>          (r lines)
+//
+// Only the nodes reachable from the roots are emitted. Load rebuilds the
+// functions in any manager (declaring missing variables as needed), so a
+// costly circuit compilation can be cached across runs.
+func (m *Manager) Save(w io.Writer, names []string, roots []Ref) error {
+	if len(names) != len(roots) {
+		return fmt.Errorf("bdd: Save: %d names for %d roots", len(names), len(roots))
+	}
+	for _, n := range names {
+		if strings.ContainsAny(n, " \n\t") {
+			return fmt.Errorf("bdd: Save: root name %q contains whitespace", n)
+		}
+	}
+	// Collect reachable nodes in a deterministic topological order
+	// (children before parents).
+	index := map[Ref]int{} // node ref → line index
+	var order []Ref
+	var walk func(Ref)
+	walk = func(r Ref) {
+		if IsConst(r) {
+			return
+		}
+		if _, seen := index[r]; seen {
+			return
+		}
+		n := m.nodes[r]
+		walk(n.lo)
+		walk(n.hi)
+		index[r] = len(order)
+		order = append(order, r)
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	enc := func(r Ref) int {
+		switch r {
+		case False:
+			return 0
+		case True:
+			return 1
+		}
+		return 2 + index[r]
+	}
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "bdd1")
+	fmt.Fprintf(bw, "vars %d\n", len(m.vars))
+	for _, v := range m.vars {
+		fmt.Fprintln(bw, v)
+	}
+	fmt.Fprintf(bw, "nodes %d\n", len(order))
+	for _, r := range order {
+		n := m.nodes[r]
+		fmt.Fprintf(bw, "%d %d %d\n", n.level, enc(n.lo), enc(n.hi))
+	}
+	fmt.Fprintf(bw, "roots %d\n", len(roots))
+	for i, r := range roots {
+		fmt.Fprintf(bw, "%s %d\n", names[i], enc(r))
+	}
+	return bw.Flush()
+}
+
+// Load reads a Save stream into the manager and returns the roots by
+// name. Variables are resolved by name: the stream's order need not match
+// the manager's (the functions are rebuilt canonically via ITE), and new
+// variables are declared at the end of the manager's order.
+func (m *Manager) Load(r io.Reader) (map[string]Ref, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := func() (string, error) {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return "", err
+			}
+			return "", io.ErrUnexpectedEOF
+		}
+		return sc.Text(), nil
+	}
+	hdr, err := line()
+	if err != nil {
+		return nil, fmt.Errorf("bdd: Load: %w", err)
+	}
+	if hdr != "bdd1" {
+		return nil, fmt.Errorf("bdd: Load: bad magic %q", hdr)
+	}
+	var nv int
+	l, err := line()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fmt.Sscanf(l, "vars %d", &nv); err != nil {
+		return nil, fmt.Errorf("bdd: Load: bad vars header %q", l)
+	}
+	vars := make([]Ref, nv)
+	varNames := make([]string, nv)
+	for i := 0; i < nv; i++ {
+		name, err := line()
+		if err != nil {
+			return nil, err
+		}
+		varNames[i] = name
+		vars[i] = m.Var(name)
+	}
+	var nn int
+	l, err = line()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fmt.Sscanf(l, "nodes %d", &nn); err != nil {
+		return nil, fmt.Errorf("bdd: Load: bad nodes header %q", l)
+	}
+	refs := make([]Ref, nn)
+	dec := func(code int) (Ref, error) {
+		switch {
+		case code == 0:
+			return False, nil
+		case code == 1:
+			return True, nil
+		case code-2 < len(refs):
+			return refs[code-2], nil
+		default:
+			return False, fmt.Errorf("bdd: Load: forward node reference %d", code)
+		}
+	}
+	for i := 0; i < nn; i++ {
+		l, err := line()
+		if err != nil {
+			return nil, err
+		}
+		var level, lo, hi int
+		if _, err := fmt.Sscanf(l, "%d %d %d", &level, &lo, &hi); err != nil {
+			return nil, fmt.Errorf("bdd: Load: bad node line %q", l)
+		}
+		if level < 0 || level >= nv {
+			return nil, fmt.Errorf("bdd: Load: node level %d out of range", level)
+		}
+		loRef, err := dec(lo)
+		if err != nil {
+			return nil, err
+		}
+		hiRef, err := dec(hi)
+		if err != nil {
+			return nil, err
+		}
+		// Rebuild canonically in this manager's order.
+		refs[i] = m.ITE(vars[level], hiRef, loRef)
+	}
+	var nr int
+	l, err = line()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fmt.Sscanf(l, "roots %d", &nr); err != nil {
+		return nil, fmt.Errorf("bdd: Load: bad roots header %q", l)
+	}
+	out := make(map[string]Ref, nr)
+	for i := 0; i < nr; i++ {
+		l, err := line()
+		if err != nil {
+			return nil, err
+		}
+		var name string
+		var code int
+		if _, err := fmt.Sscanf(l, "%s %d", &name, &code); err != nil {
+			return nil, fmt.Errorf("bdd: Load: bad root line %q", l)
+		}
+		ref, err := dec(code)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = ref
+	}
+	return out, nil
+}

@@ -1,0 +1,84 @@
+// Package circuits builds the paper's analog case-study filters as MNA
+// netlists with canonical component values:
+//
+//   - Figure 2: second-order band-pass (Tow-Thomas biquad, Example 1)
+//   - Figure 7: fifth-order Chebyshev low-pass (Example 3)
+//   - Figure 8: state-variable filter (the §3.1 validation board)
+//
+// The paper does not publish component values; each builder documents its
+// choices and the resulting nominal performances, and the experiments
+// compare *shapes* (which elements are hard to test, which parameters
+// cover which elements) rather than absolute percentages.
+package circuits
+
+import (
+	"math"
+
+	"repro/internal/analog"
+	"repro/internal/mna"
+)
+
+// BandPassElements lists the fault universe of the Figure 2 filter in the
+// paper's order.
+var BandPassElements = []string{"R1", "R2", "R3", "R4", "Rg", "Rd", "C1", "C2"}
+
+// BandPass2 builds the second-order band-pass filter of Figure 2 as a
+// Tow-Thomas biquad:
+//
+//	V1/Vin = −(s/(Rg·C1)) / (s² + s/(Rd·C1) + R4/(R1·R2·R3·C1·C2))
+//
+// With the nominal values below: f0 = 5 kHz, Q = 2, center gain
+// A1 = Rd/Rg = 2. The band-pass output is node "v1"; the input source is
+// "Vin" with unit AC amplitude.
+//
+// The dependency structure matches Equation 1 of the paper: the center
+// gain depends only on {Rg, Rd}; f0 depends only on {R1..R4, C1, C2}.
+func BandPass2() *mna.Circuit {
+	c := mna.New("bandpass2")
+	c.AddV("Vin", "in", "0", 1, 1)
+
+	// A1: summing integrator with lossy feedback (C1 ∥ Rd), inputs via
+	// Rg (signal) and R1 (loop feedback from the inverter output v3).
+	c.AddR("Rg", "in", "s1", 10e3)
+	c.AddR("R1", "v3", "s1", 10e3)
+	c.AddC("C1", "s1", "v1", 3.183e-9)
+	c.AddR("Rd", "s1", "v1", 20e3)
+	c.AddOpAmp("A1", "0", "s1", "v1")
+
+	// A2: inverting integrator.
+	c.AddR("R2", "v1", "s2", 10e3)
+	c.AddC("C2", "s2", "v2", 3.183e-9)
+	c.AddOpAmp("A2", "0", "s2", "v2")
+
+	// A3: unity inverter closing the loop.
+	c.AddR("R3", "v2", "s3", 10e3)
+	c.AddR("R4", "s3", "v3", 10e3)
+	c.AddOpAmp("A3", "0", "s3", "v3")
+	return c
+}
+
+// BandPassOutput is the measured output node of the Figure 2 filter.
+const BandPassOutput = "v1"
+
+// BandPassNominalF0 returns the analytic center frequency of the nominal
+// band-pass, used by tests as a cross-check on the MNA model.
+func BandPassNominalF0() float64 {
+	r1, r2, r3, r4 := 10e3, 10e3, 10e3, 10e3
+	c1, c2 := 3.183e-9, 3.183e-9
+	w0 := math.Sqrt(r4 / (r1 * r2 * r3 * c1 * c2))
+	return w0 / (2 * math.Pi)
+}
+
+// BandPassParams returns the paper's five parameters for Example 1:
+// A1 (center-frequency gain), A2 (gain at 10 kHz), f0 (center frequency),
+// fc1 and fc2 (lower and upper −3 dB band edges).
+func BandPassParams() []analog.Parameter {
+	const lo, hi = 10.0, 100e3
+	return []analog.Parameter{
+		analog.MaxGain{Label: "A1", Out: BandPassOutput, Lo: lo, Hi: hi},
+		analog.ACGain{Label: "A2", Out: BandPassOutput, Freq: 10e3},
+		analog.CenterFreq{Label: "f0", Out: BandPassOutput, Lo: lo, Hi: hi},
+		analog.CutoffFreq{Label: "fc1", Out: BandPassOutput, Side: analog.LowSide, Ref: analog.RefPeak, Lo: lo, Hi: hi},
+		analog.CutoffFreq{Label: "fc2", Out: BandPassOutput, Side: analog.HighSide, Ref: analog.RefPeak, Lo: lo, Hi: hi},
+	}
+}

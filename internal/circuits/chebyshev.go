@@ -1,0 +1,111 @@
+package circuits
+
+import (
+	"math"
+
+	"repro/internal/analog"
+	"repro/internal/mna"
+	"repro/internal/numeric"
+)
+
+// ChebyshevElements lists the fault universe of the Figure 7 filter.
+var ChebyshevElements = []string{
+	"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10", "R11", "R12",
+	"C1", "C2", "C3", "C4", "C5",
+}
+
+// ChebyshevCutoff is the design passband edge of the Figure 7 filter.
+const ChebyshevCutoff = 10e3 // Hz
+
+// ChebyshevOutput is the measured output node.
+const ChebyshevOutput = "vo"
+
+// Chebyshev5 builds the fifth-order 0.5 dB-ripple Chebyshev low-pass of
+// Figure 7 as a three-block cascade, matching the paper's element count
+// (twelve resistors, five capacitors):
+//
+//	block 1: inverting first-order section      (R1, R2, C1, A1)
+//	block 2: Sallen-Key biquad, gain K2         (R3, R4, C2, C3; K2 = 1 + R8/R7, A2)
+//	block 3: Sallen-Key biquad, gain K3         (R5, R6, C4, C5; K3 = 1 + R10/R9, A3)
+//	output : unity inverter                     (R11, R12, A4)
+//
+// Pole placement follows the analytic Chebyshev prototype
+// (numeric.ChebyshevPoles); equal-component Sallen-Key stages use
+// K = 3 − 1/Q. The passband edge is ChebyshevCutoff.
+func Chebyshev5() *mna.Circuit {
+	poles := numeric.ChebyshevPoles(5, 0.5)
+	// Classify: one real pole + two conjugate pairs (take im > 0).
+	var realPole float64
+	type pair struct{ w0, q float64 }
+	var pairs []pair
+	for _, p := range poles {
+		if imag(p) > 1e-9 {
+			w0 := math.Hypot(real(p), imag(p))
+			pairs = append(pairs, pair{w0: w0, q: w0 / (2 * math.Abs(real(p)))})
+		} else if math.Abs(imag(p)) <= 1e-9 {
+			realPole = math.Abs(real(p))
+		}
+	}
+	// Low-Q pair first in the cascade (better dynamic range).
+	if pairs[0].q > pairs[1].q {
+		pairs[0], pairs[1] = pairs[1], pairs[0]
+	}
+	wp := 2 * math.Pi * ChebyshevCutoff
+
+	c := mna.New("chebyshev5")
+	c.AddV("Vin", "in", "0", 1, 1)
+
+	// Block 1: inverting first-order low-pass, DC gain −1.
+	const c1 = 10e-9
+	r2 := 1 / (realPole * wp * c1)
+	c.AddR("R1", "in", "s1", r2)
+	c.AddR("R2", "s1", "o1", r2)
+	c.AddC("C1", "s1", "o1", c1)
+	c.AddOpAmp("A1", "0", "s1", "o1")
+
+	// Block 2: equal-component Sallen-Key, pole pair 1.
+	const csk = 10e-9
+	rB2 := 1 / (pairs[0].w0 * wp * csk)
+	k2 := 3 - 1/pairs[0].q
+	c.AddR("R3", "o1", "n1", rB2)
+	c.AddR("R4", "n1", "n2", rB2)
+	c.AddC("C2", "n1", "o2", csk)
+	c.AddC("C3", "n2", "0", csk)
+	c.AddOpAmp("A2", "n2", "fb2", "o2")
+	c.AddR("R7", "fb2", "0", 10e3)
+	c.AddR("R8", "o2", "fb2", (k2-1)*10e3)
+
+	// Block 3: equal-component Sallen-Key, pole pair 2 (high Q).
+	rB3 := 1 / (pairs[1].w0 * wp * csk)
+	k3 := 3 - 1/pairs[1].q
+	c.AddR("R5", "o2", "n3", rB3)
+	c.AddR("R6", "n3", "n4", rB3)
+	c.AddC("C4", "n3", "o3", csk)
+	c.AddC("C5", "n4", "0", csk)
+	c.AddOpAmp("A3", "n4", "fb3", "o3")
+	c.AddR("R9", "fb3", "0", 10e3)
+	c.AddR("R10", "o3", "fb3", (k3-1)*10e3)
+
+	// Output inverter restores polarity.
+	c.AddR("R11", "o3", "s4", 10e3)
+	c.AddR("R12", "s4", "vo", 10e3)
+	c.AddOpAmp("A4", "0", "s4", "vo")
+	return c
+}
+
+// ChebyshevParams returns the Table 3 parameter set: the DC gain Adc, the
+// −3 dB cut-off fc, and five in/near-band gains A1..A5 probing the ripple
+// structure at fixed fractions of the design cut-off.
+func ChebyshevParams() []analog.Parameter {
+	fc := ChebyshevCutoff
+	return []analog.Parameter{
+		analog.DCGain{Label: "Adc", Out: ChebyshevOutput},
+		analog.CutoffFreq{Label: "fc", Out: ChebyshevOutput, Side: analog.HighSide,
+			Ref: analog.RefDC, Lo: 10, Hi: 100e3},
+		analog.ACGain{Label: "A1", Out: ChebyshevOutput, Freq: 0.20 * fc},
+		analog.ACGain{Label: "A2", Out: ChebyshevOutput, Freq: 0.50 * fc},
+		analog.ACGain{Label: "A3", Out: ChebyshevOutput, Freq: 0.80 * fc},
+		analog.ACGain{Label: "A4", Out: ChebyshevOutput, Freq: 0.95 * fc},
+		analog.ACGain{Label: "A5", Out: ChebyshevOutput, Freq: 2.00 * fc},
+	}
+}

@@ -1,0 +1,233 @@
+package circuits
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analog"
+	"repro/internal/numeric"
+)
+
+func TestBandPassNominalPerformance(t *testing.T) {
+	c := BandPass2()
+	params := BandPassParams()
+	vals, err := analog.MeasureAll(c, params)
+	if err != nil {
+		t.Fatalf("MeasureAll: %v", err)
+	}
+	// Center gain A1 = Rd/Rg = 2.
+	if !numeric.ApproxEqual(vals["A1"], 2, 1e-3) {
+		t.Errorf("A1 = %g, want 2", vals["A1"])
+	}
+	// f0 = 1 kHz by construction.
+	if !numeric.ApproxEqual(vals["f0"], BandPassNominalF0(), 1e-3) {
+		t.Errorf("f0 = %g, want %g", vals["f0"], BandPassNominalF0())
+	}
+	if !numeric.ApproxEqual(vals["f0"], 5000, 5e-3) {
+		t.Errorf("f0 = %g, want ≈5000", vals["f0"])
+	}
+	// Band edges straddle f0 and satisfy fc1·fc2 = f0² (geometric
+	// symmetry of a biquad band-pass).
+	if !(vals["fc1"] < vals["f0"] && vals["f0"] < vals["fc2"]) {
+		t.Errorf("edges do not straddle center: fc1=%g f0=%g fc2=%g",
+			vals["fc1"], vals["f0"], vals["fc2"])
+	}
+	if !numeric.ApproxEqual(vals["fc1"]*vals["fc2"], vals["f0"]*vals["f0"], 1e-2) {
+		t.Errorf("fc1·fc2 = %g, want f0² = %g", vals["fc1"]*vals["fc2"], vals["f0"]*vals["f0"])
+	}
+	// Q = f0/(fc2−fc1) = 2 by design.
+	q := vals["f0"] / (vals["fc2"] - vals["fc1"])
+	if !numeric.ApproxEqual(q, 2, 2e-2) {
+		t.Errorf("Q = %g, want 2", q)
+	}
+	// 10 kHz sits on the upper skirt (an octave above f0): the gain
+	// there is clearly below the peak but still measurable — the spot
+	// where the paper's A2 parameter sees most elements.
+	if vals["A2"] >= vals["A1"]/2 || vals["A2"] < vals["A1"]/20 {
+		t.Errorf("A2 = %g out of the expected skirt range (A1 = %g)", vals["A2"], vals["A1"])
+	}
+}
+
+func TestBandPassGainDependsOnlyOnRgRd(t *testing.T) {
+	c := BandPass2()
+	a1 := analog.MaxGain{Label: "A1", Out: BandPassOutput, Lo: 10, Hi: 100e3}
+	for _, e := range []string{"R1", "R2", "R3", "R4", "C1", "C2"} {
+		s, err := analog.Sensitivity(c, e, a1, 1e-3)
+		if err != nil {
+			t.Fatalf("Sensitivity(%s): %v", e, err)
+		}
+		if math.Abs(s) > 1e-2 {
+			t.Errorf("center gain sensitivity to %s = %g, want ≈0", e, s)
+		}
+	}
+	for _, e := range []string{"Rg", "Rd"} {
+		s, err := analog.Sensitivity(c, e, a1, 1e-3)
+		if err != nil {
+			t.Fatalf("Sensitivity(%s): %v", e, err)
+		}
+		if math.Abs(math.Abs(s)-1) > 5e-2 {
+			t.Errorf("|sensitivity of A1 to %s| = %g, want ≈1 (A1 = Rd/Rg)", e, math.Abs(s))
+		}
+	}
+}
+
+func TestBandPassF0Insensitivity(t *testing.T) {
+	c := BandPass2()
+	f0 := analog.CenterFreq{Label: "f0", Out: BandPassOutput, Lo: 10, Hi: 100e3}
+	for _, e := range []string{"Rg", "Rd"} {
+		s, err := analog.Sensitivity(c, e, f0, 1e-3)
+		if err != nil {
+			t.Fatalf("Sensitivity(%s): %v", e, err)
+		}
+		if math.Abs(s) > 2e-2 {
+			t.Errorf("f0 sensitivity to %s = %g, want ≈0 (matches Eq 1 zeros)", e, s)
+		}
+	}
+	// f0² ∝ 1/(R1R2R3C1C2)·R4 → sensitivity magnitude 1/2 each.
+	for _, e := range []string{"R1", "R2", "R3", "C1", "C2"} {
+		s, err := analog.Sensitivity(c, e, f0, 1e-3)
+		if err != nil {
+			t.Fatalf("Sensitivity(%s): %v", e, err)
+		}
+		if !numeric.ApproxEqual(math.Abs(s), 0.5, 5e-2) {
+			t.Errorf("|f0 sensitivity to %s| = %g, want 0.5", e, math.Abs(s))
+		}
+	}
+}
+
+func TestChebyshevNominalResponse(t *testing.T) {
+	c := Chebyshev5()
+	adc, err := c.GainMag(ChebyshevOutput, 0)
+	if err != nil {
+		t.Fatalf("DC gain: %v", err)
+	}
+	// Adc = K2·K3 (both SK stage gains), about 5.98 for 0.5 dB ripple.
+	if adc < 4 || adc > 8 {
+		t.Errorf("Adc = %g, expected ≈6", adc)
+	}
+	// Equiripple passband: odd-order Chebyshev puts DC at a ripple
+	// maximum; the response dips down to Adc·10^(−0.5/20) and back.
+	rippleBottom := adc * math.Pow(10, -0.5/20) * 0.985
+	rippleTop := adc * 1.02
+	for _, frac := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 1.0} {
+		g, err := c.GainMag(ChebyshevOutput, frac*ChebyshevCutoff)
+		if err != nil {
+			t.Fatalf("GainMag: %v", err)
+		}
+		if g > rippleTop || g < rippleBottom {
+			t.Errorf("gain at %.1f·fc = %g outside ripple band [%g, %g]",
+				frac, g, rippleBottom, rippleTop)
+		}
+	}
+	// Strong stop-band attenuation: ≥ 30 dB at 3·fc.
+	g3, err := c.GainMag(ChebyshevOutput, 3*ChebyshevCutoff)
+	if err != nil {
+		t.Fatalf("GainMag: %v", err)
+	}
+	if 20*math.Log10(g3/adc) > -30 {
+		t.Errorf("attenuation at 3·fc = %.1f dB, want ≤ -30 dB", 20*math.Log10(g3/adc))
+	}
+}
+
+func TestChebyshevCutoffMeasurement(t *testing.T) {
+	c := Chebyshev5()
+	params := ChebyshevParams()
+	vals, err := analog.MeasureAll(c, params)
+	if err != nil {
+		t.Fatalf("MeasureAll: %v", err)
+	}
+	// The −3 dB point of a 0.5 dB-ripple Chebyshev sits just above the
+	// ripple edge: fc ∈ [fp, 1.4·fp].
+	if vals["fc"] < ChebyshevCutoff || vals["fc"] > 1.4*ChebyshevCutoff {
+		t.Errorf("fc = %g, want within [%g, %g]", vals["fc"], ChebyshevCutoff, 1.4*ChebyshevCutoff)
+	}
+	// A5 (2·fc) is deep in the stop band, well below the in-band gains.
+	if vals["A5"] > vals["A1"]/3 {
+		t.Errorf("A5 = %g not in stop band (A1 = %g)", vals["A5"], vals["A1"])
+	}
+}
+
+func TestChebyshevElementsExist(t *testing.T) {
+	c := Chebyshev5()
+	for _, e := range ChebyshevElements {
+		if !c.HasElement(e) {
+			t.Errorf("element %s missing from netlist", e)
+		}
+	}
+}
+
+func TestStateVariableNominal(t *testing.T) {
+	c := StateVariable(true)
+	params := StateVarParams()
+	vals, err := analog.MeasureAll(c, params)
+	if err != nil {
+		t.Fatalf("MeasureAll: %v", err)
+	}
+	// LP DC gain = R3/R1 = 1.
+	if !numeric.ApproxEqual(vals["A1dc"], 1, 1e-3) {
+		t.Errorf("A1dc = %g, want 1", vals["A1dc"])
+	}
+	// Unclamped A4 gain = R7/R6 = 1.5; clamped = (R7∥R5)/R6 = 0.75.
+	if !numeric.ApproxEqual(vals["A2dc"], 1.5, 1e-3) {
+		t.Errorf("A2dc = %g, want 1.5", vals["A2dc"])
+	}
+	if !numeric.ApproxEqual(vals["A3'dc"], 0.75, 1e-3) {
+		t.Errorf("A3'dc = %g, want 0.75", vals["A3'dc"])
+	}
+	// BP peak gain for this topology = R2/R1 = 2 at f0.
+	if !numeric.ApproxEqual(vals["A1"], 2, 2e-2) {
+		t.Errorf("BP peak = %g, want 2", vals["A1"])
+	}
+	// fh1 = 1/(2π·R·Cload) = 10 kHz·... with R = 10k, Cload = 1.59 nF → 100 kHz.
+	if !numeric.ApproxEqual(vals["fh1"], 100e3, 5e-2) {
+		t.Errorf("fh1 = %g, want ≈100 kHz", vals["fh1"])
+	}
+}
+
+func TestStateVariableClampOnlyAffectsA4(t *testing.T) {
+	open := StateVariable(false)
+	closed := StateVariable(true)
+	for _, node := range []string{StateVarHP, StateVarBP, StateVarLP} {
+		gOpen, err1 := open.GainMag(node, 1234)
+		gClosed, err2 := closed.GainMag(node, 1234)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("GainMag: %v %v", err1, err2)
+		}
+		if !numeric.ApproxEqual(gOpen, gClosed, 1e-12) {
+			t.Errorf("clamp changed %s: %g vs %g", node, gOpen, gClosed)
+		}
+	}
+	g4Open, _ := open.GainMag(StateVarOut, 0)
+	g4Closed, _ := closed.GainMag(StateVarOut, 0)
+	if numeric.ApproxEqual(g4Open, g4Closed, 1e-6) {
+		t.Error("clamp must change the A4 stage gain")
+	}
+}
+
+func TestUnclampedDCGainTracksPerturbation(t *testing.T) {
+	c := StateVariable(true)
+	p := UnclampedDCGain{Label: "A2dc"}
+	base, err := p.Measure(c)
+	if err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+	restore := c.Perturb("R7", 0.10)
+	defer restore()
+	up, err := p.Measure(c)
+	if err != nil {
+		t.Fatalf("Measure perturbed: %v", err)
+	}
+	if !numeric.ApproxEqual(up/base, 1.10, 1e-6) {
+		t.Errorf("A2dc ratio = %g, want 1.10 (gain ∝ R7)", up/base)
+	}
+	// R5 must not affect the unclamped gain.
+	restore5 := c.Perturb("R5", 0.5)
+	defer restore5()
+	r5up, err := p.Measure(c)
+	if err != nil {
+		t.Fatalf("Measure R5: %v", err)
+	}
+	if !numeric.ApproxEqual(r5up, up, 1e-9) {
+		t.Error("R5 leaked into the unclamped configuration")
+	}
+}

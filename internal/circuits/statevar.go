@@ -1,0 +1,121 @@
+package circuits
+
+import (
+	"repro/internal/analog"
+	"repro/internal/mna"
+)
+
+// StateVarElements lists the fault universe of the Figure 8 board.
+var StateVarElements = []string{
+	"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R", "C1", "C2",
+}
+
+// State-variable filter output nodes.
+const (
+	StateVarHP  = "v1"  // high-pass (summer output)
+	StateVarBP  = "v2"  // band-pass (first integrator)
+	StateVarLP  = "v3"  // low-pass (second integrator)
+	StateVarOut = "v4"  // buffered/inverted LP output (A4 stage)
+	StateVarRC  = "v1f" // V1 through the output RC (element R)
+)
+
+// StateVariable builds the state-variable (KHN-style) filter of the
+// Figure 8 validation board:
+//
+//	A1: inverting summer   — Vin/R1 + V2/R2 + V3/R3, feedback R4 → v1 (HP)
+//	A2: integrator          — R8, C1 → v2 (BP)
+//	A3: integrator          — R9, C2 → v3 (LP)
+//	A4: output inverter     — R6 in, R7 feedback → v4
+//	R + Cload: output RC at v1 → v1f, giving the fh1 measurement
+//
+// clamped selects the board's input-threshold configuration: when true
+// (the paper's A3' condition, Vin below the threshold voltage) the diode
+// path engages R5 as a shunt across the A4 feedback, dropping that stage's
+// gain to (R7 ∥ R5)/R6. The clamp only affects the A4 stage, so every
+// other measurement is identical in both configurations.
+//
+// StateVariable(true) is the configuration used as the experiment circuit:
+// it contains the complete element universe including R5. Cload is a fixed
+// probe capacitance and not part of the fault universe.
+//
+// Nominals give f0 = 1 kHz, Q = 2, LP DC gain R3/R1 = 1.
+func StateVariable(clamped bool) *mna.Circuit {
+	name := "statevar"
+	if clamped {
+		name = "statevar-clamped"
+	}
+	c := mna.New(name)
+	c.AddV("Vin", "in", "0", 1, 1)
+
+	// A1: inverting summer → HP output v1.
+	c.AddR("R1", "in", "sa", 10e3)
+	c.AddR("R2", "v2", "sa", 20e3) // damping: Q = R2/R4 with equal integrators
+	c.AddR("R3", "v3", "sa", 10e3)
+	c.AddR("R4", "sa", "v1", 10e3)
+	c.AddOpAmp("A1", "0", "sa", "v1")
+
+	// A2: integrator → BP output v2. ω0 = 1/(R8·C1).
+	c.AddR("R8", "v1", "sb", 10e3)
+	c.AddC("C1", "sb", "v2", 15.915e-9)
+	c.AddOpAmp("A2", "0", "sb", "v2")
+
+	// A3: integrator → LP output v3.
+	c.AddR("R9", "v2", "sc", 10e3)
+	c.AddC("C2", "sc", "v3", 15.915e-9)
+	c.AddOpAmp("A3", "0", "sc", "v3")
+
+	// A4: output inverter from the LP output.
+	c.AddR("R6", "v3", "sd", 10e3)
+	c.AddR("R7", "sd", "v4", 15e3)
+	if clamped {
+		c.AddR("R5", "sd", "v4", 15e3)
+	}
+	c.AddOpAmp("A4", "0", "sd", "v4")
+
+	// Output RC on the HP node: fh1 = 1/(2π·R·Cload).
+	c.AddR("R", "v1", "v1f", 10e3)
+	c.AddC("Cload", "v1f", "0", 159.15e-12) // fixed 100 kHz pole probe
+	return c
+}
+
+// UnclampedDCGain measures the DC gain of the A4 output with the clamp
+// released (the paper's A2dc): the diode path is open and R5 is out of
+// circuit. Because that is a different linear configuration, Measure
+// rebuilds the unclamped twin with the element values of the circuit
+// under test, so perturbations of shared elements carry over. (R5 has no
+// effect on this parameter, exactly as on the board.)
+type UnclampedDCGain struct {
+	Label string
+}
+
+// Name implements analog.Parameter.
+func (p UnclampedDCGain) Name() string { return p.Label }
+
+// Measure implements analog.Parameter.
+func (p UnclampedDCGain) Measure(c *mna.Circuit) (float64, error) {
+	twin := StateVariable(false)
+	for _, e := range StateVarElements {
+		if c.HasElement(e) && twin.HasElement(e) {
+			twin.SetValue(e, c.Value(e))
+		}
+	}
+	return twin.GainMag(StateVarOut, 0)
+}
+
+// StateVarParams returns the validation board's measurement set — the
+// performances selected in §3.1: DC gains at the LP and buffered outputs
+// (clamped and unclamped), the band-pass peak gain, two 10 kHz AC gains
+// and the output-RC high cut-off fh1. They are measured on the clamped
+// experiment circuit, StateVariable(true).
+func StateVarParams() []analog.Parameter {
+	return []analog.Parameter{
+		analog.DCGain{Label: "A1dc", Out: StateVarLP},
+		UnclampedDCGain{Label: "A2dc"},
+		analog.DCGain{Label: "A3'dc", Out: StateVarOut},
+		analog.MaxGain{Label: "A1", Out: StateVarBP, Lo: 10, Hi: 100e3},
+		analog.ACGain{Label: "A2", Out: StateVarHP, Freq: 10e3},
+		analog.ACGain{Label: "A3", Out: StateVarBP, Freq: 10e3},
+		analog.CutoffFreq{Label: "fh1", Out: StateVarRC, Side: analog.HighSide,
+			Ref: analog.RefAtFreq, RefFreqHz: 20e3, Lo: 20e3, Hi: 10e6},
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/analog"
+	"repro/internal/waveform"
+)
+
+// Bound selects which edge of the tolerance box an activation probes —
+// Table 1 needs two vectors per parameter, "one to test the upper bound
+// of a parameter deviation and the other to test the lower bound".
+type Bound int
+
+// Tolerance-box bounds.
+const (
+	UpperBound Bound = iota // parameter pushed above +tol
+	LowerBound              // parameter pushed below −tol
+)
+
+func (b Bound) String() string {
+	if b == UpperBound {
+		return "upper"
+	}
+	return "lower"
+}
+
+// Activation is one planned analog fault activation: the stimulus to
+// apply at the analog primary input and the composite values it produces
+// on the conversion block's outputs for the given faulty condition.
+type Activation struct {
+	Stim       waveform.Stimulus
+	Target     int                  // comparator meant to toggle (1-based)
+	Pattern    []waveform.Composite // all comparator outputs, index k-1
+	Composites int                  // number of composite entries in Pattern
+}
+
+// PlanActivation chooses the stimulus that tests one bound of one analog
+// element's worst-case deviation through one comparator, per the rules of
+// Table 1, and returns the full composite pattern of the conversion
+// block. The element is perturbed by ±delta (sign from the bound) — the
+// computed worst-case deviation ED — and the amplitude is placed so the
+// target comparator separates the fault-free and faulty responses.
+//
+// ok is false when the responses do not differ at the measurement
+// frequency (the comparator cannot see this element through this
+// parameter) or the required amplitude is unreasonable.
+func (mx *Mixed) PlanActivation(elem string, delta float64, p analog.Parameter, bound Bound, target int) (Activation, bool, error) {
+	f, kind, err := mx.measurementFreqFor(p)
+	if err != nil {
+		return Activation{}, false, err
+	}
+	sign := 1.0
+	if bound == LowerBound {
+		sign = -1
+	}
+	stimProbe := waveform.Stimulus{Kind: kind, Amplitude: 1, Freq: f}
+	g0, err := waveform.ResponseAmplitude(mx.Analog, mx.AnalogOut, stimProbe)
+	if err != nil {
+		return Activation{}, false, err
+	}
+	restore := mx.Analog.Perturb(elem, sign*delta)
+	g1, err := waveform.ResponseAmplitude(mx.Analog, mx.AnalogOut, stimProbe)
+	restore()
+	if err != nil {
+		return Activation{}, false, err
+	}
+	if g0 <= 0 || g1 <= 0 {
+		return Activation{}, false, nil
+	}
+	rel := math.Abs(g0-g1) / math.Max(g0, g1)
+	if rel < 1e-9 {
+		return Activation{}, false, nil // parameter blind to this element here
+	}
+	vt := mx.Conv.Threshold(target)
+	// Amplitude that puts Vt between the two responses: the paper's
+	// B = Vref/((1±x)·A_n) rows of Table 1 are exactly this placement.
+	amp := 2 * vt / (g0 + g1)
+	if amp <= 0 || math.IsInf(amp, 0) || math.IsNaN(amp) {
+		return Activation{}, false, nil
+	}
+	stim := waveform.Stimulus{Kind: kind, Amplitude: amp, Freq: f}
+	pattern := make([]waveform.Composite, mx.Conv.NumComparators())
+	composites := 0
+	for k := 1; k <= mx.Conv.NumComparators(); k++ {
+		cv := waveform.Classify(amp*g0, amp*g1, mx.Conv.Threshold(k))
+		pattern[k-1] = cv
+		if cv.IsComposite() {
+			composites++
+		}
+	}
+	if !pattern[target-1].IsComposite() {
+		return Activation{}, false, nil
+	}
+	return Activation{Stim: stim, Target: target, Pattern: pattern, Composites: composites}, true, nil
+}
+
+// measurementFreqFor maps a parameter to the stimulus frequency that
+// makes its deviation visible in the response amplitude — the frequency
+// column of Table 1. DC parameters use a DC stimulus; AC gains their own
+// frequency; center-frequency/cut-off parameters are probed at the
+// nominal frequency they define, where a frequency shift converts into a
+// gain change (the paper's x% → y% relation).
+func (mx *Mixed) measurementFreqFor(p analog.Parameter) (float64, waveform.StimKind, error) {
+	switch q := p.(type) {
+	case analog.DCGain:
+		return 0, waveform.DC, nil
+	case analog.ACGain:
+		return q.Freq, waveform.Sine, nil
+	case analog.MaxGain:
+		f, err := (analog.CenterFreq{Label: q.Label, Out: q.Out, Lo: q.Lo, Hi: q.Hi}).Measure(mx.Analog)
+		return f, waveform.Sine, err
+	case analog.CenterFreq:
+		f, err := (analog.CutoffFreq{Label: q.Label, Out: q.Out, Side: analog.HighSide,
+			Ref: analog.RefPeak, Lo: q.Lo, Hi: q.Hi}).Measure(mx.Analog)
+		return f, waveform.Sine, err
+	case analog.CutoffFreq:
+		f, err := q.Measure(mx.Analog)
+		return f, waveform.Sine, err
+	default:
+		return 0, waveform.Sine, fmt.Errorf("core: no activation rule for parameter %T(%s)", p, p.Name())
+	}
+}

@@ -1,0 +1,117 @@
+// Package core implements the paper's contribution: automatic test vector
+// generation for a mixed-signal circuit of the form analog block → A/D
+// conversion block → digital block, treated as a single entity.
+//
+// The flow combines the three techniques of the paper:
+//
+//   - element testing of the analog block (internal/analog): worst-case
+//     element deviations and parameter selection;
+//   - constrained OBDD test generation for the digital block
+//     (internal/atpg): stuck-at vectors that satisfy the conversion
+//     block's constraint function Fc;
+//   - analog fault activation and propagation (§2.3): a sine stimulus
+//     chosen per Table 1 puts a composite value D/D̄ on one comparator
+//     output; D is declared as the last OBDD variable and propagated
+//     through the digital block; a primary output whose OBDD contains D
+//     yields the test, with the free digital inputs assigned by SatOne
+//     of ∂F/∂D.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/adc"
+	"repro/internal/logic"
+	"repro/internal/mna"
+)
+
+// Mixed is the paper's Figure 4 object: an analog block whose output
+// feeds a flash conversion block whose comparator outputs drive a subset
+// of the digital block's primary inputs.
+type Mixed struct {
+	Analog    *mna.Circuit
+	AnalogOut string     // analog node driving the converter input
+	Conv      *adc.Flash // conversion block
+	Digital   *logic.Circuit
+	// Binding[k-1] names the digital input driven by comparator k.
+	Binding []string
+
+	free    []string // digital inputs not bound to the converter
+	boundAt map[string]int
+}
+
+// NewMixed validates and assembles a mixed circuit. The digital circuit
+// must be frozen; every binding name must be one of its primary inputs;
+// the binding length must equal the converter's comparator count; and the
+// analog output node must exist.
+func NewMixed(analog *mna.Circuit, analogOut string, conv *adc.Flash, digital *logic.Circuit, binding []string) (*Mixed, error) {
+	if !digital.Frozen() {
+		return nil, fmt.Errorf("core: digital circuit %q must be frozen", digital.Name)
+	}
+	if len(binding) != conv.NumComparators() {
+		return nil, fmt.Errorf("core: %d bound lines for %d comparators", len(binding), conv.NumComparators())
+	}
+	if !analog.HasNode(analogOut) {
+		return nil, fmt.Errorf("core: analog circuit %q has no node %q", analog.Name(), analogOut)
+	}
+	boundAt := make(map[string]int, len(binding))
+	inputSet := map[string]bool{}
+	for _, n := range digital.InputNames() {
+		inputSet[n] = true
+	}
+	for k, name := range binding {
+		if !inputSet[name] {
+			return nil, fmt.Errorf("core: bound line %q is not a digital primary input", name)
+		}
+		if _, dup := boundAt[name]; dup {
+			return nil, fmt.Errorf("core: line %q bound to two comparators", name)
+		}
+		boundAt[name] = k + 1
+	}
+	var free []string
+	for _, n := range digital.InputNames() {
+		if _, bound := boundAt[n]; !bound {
+			free = append(free, n)
+		}
+	}
+	return &Mixed{
+		Analog:    analog,
+		AnalogOut: analogOut,
+		Conv:      conv,
+		Digital:   digital,
+		Binding:   append([]string(nil), binding...),
+		free:      free,
+		boundAt:   boundAt,
+	}, nil
+}
+
+// FreeInputs returns the digital primary inputs not driven by the
+// conversion block, in input order.
+func (mx *Mixed) FreeInputs() []string { return mx.free }
+
+// BoundComparator returns the comparator (1-based) driving the named
+// digital input, or 0 if the input is free.
+func (mx *Mixed) BoundComparator(name string) int { return mx.boundAt[name] }
+
+// DigitalInputsFor returns the full digital input assignment produced by
+// applying a DC level vin at the analog input, with the free inputs taken
+// from freeAssign (missing entries default to false). This is the
+// "functional" view used by the validation experiments: analog DC level →
+// comparator outputs → digital inputs.
+func (mx *Mixed) DigitalInputsFor(vin float64, freeAssign map[string]bool) (map[string]bool, error) {
+	gain, err := mx.Analog.Gain(mx.AnalogOut, 0)
+	if err != nil {
+		return nil, err
+	}
+	v := real(gain) * vin
+	enc := mx.Conv.Encode(v)
+	out := make(map[string]bool, len(mx.Digital.Inputs()))
+	for _, n := range mx.Digital.InputNames() {
+		if k := mx.boundAt[n]; k > 0 {
+			out[n] = enc[k-1]
+		} else {
+			out[n] = freeAssign[n]
+		}
+	}
+	return out, nil
+}

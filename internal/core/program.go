@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/adc"
+	"repro/internal/analog"
+	"repro/internal/atpg"
+	"repro/internal/faults"
+	"repro/internal/waveform"
+)
+
+// TestProgram is the complete functional test program the paper's flow
+// produces for one mixed-signal circuit: analog element tests (stimulus +
+// comparator + digital side conditions), conversion-block element tests,
+// and the constrained stuck-at vector set for the digital block.
+type TestProgram struct {
+	CircuitName string
+
+	// AnalogTests holds one entry per analog element and tolerance
+	// bound that is testable through the mixed circuit.
+	AnalogTests []AnalogTest
+	// AnalogUntestable lists elements with no activating/propagating
+	// stimulus, with the blocking reason.
+	AnalogUntestable []UntestableElement
+
+	// ConversionTests cover the converter's ladder resistors.
+	ConversionTests []ConversionTest
+
+	// DigitalVectors is the constrained stuck-at test set.
+	DigitalVectors []faults.Vector
+	// DigitalUntestable lists the constraint-blocked stuck-at faults by
+	// name.
+	DigitalUntestable []string
+	DigitalFaults     int
+	DigitalCoverage   float64
+
+	GeneratedIn time.Duration
+}
+
+// AnalogTest is one applied analog measurement.
+type AnalogTest struct {
+	Element    string
+	Bound      Bound
+	Param      string
+	Deviation  float64 // exercised worst-case deviation (fraction)
+	Stimulus   waveform.Stimulus
+	Comparator int
+	Expect     waveform.Composite // value at the comparator when faulty
+	FreeInputs map[string]bool
+	Outputs    []string
+}
+
+// UntestableElement records an analog element the flow cannot test.
+type UntestableElement struct {
+	Element string
+	Bound   Bound
+	Reason  string
+}
+
+// ConversionTest is one ladder-resistor test.
+type ConversionTest struct {
+	Element    string  // "R3"
+	Comparator int     // observing comparator (1-based)
+	Deviation  float64 // minimal detectable deviation (fraction)
+}
+
+// CompileProgram runs the complete flow of the paper on a mixed circuit:
+// analog element tests for both tolerance bounds, conversion-block
+// coverage restricted to the propagatable comparators, and constrained
+// digital ATPG (with static compaction of the vector set). The matrix
+// must come from analog.BuildMatrix over the analog block's elements.
+func CompileProgram(mx *Mixed, matrix *analog.Matrix, elements []string, opts ...atpg.Option) (*TestProgram, error) {
+	start := time.Now()
+	prog := &TestProgram{CircuitName: fmt.Sprintf("%s→flash(%d)→%s",
+		mx.Analog.Name(), mx.Conv.NumComparators(), mx.Digital.Name)}
+
+	prop, err := NewPropagator(mx, opts...)
+	if err != nil {
+		return nil, err
+	}
+
+	// 1. Analog element tests, both bounds.
+	for _, elem := range elements {
+		for _, bound := range []Bound{UpperBound, LowerBound} {
+			verdict, err := mx.TestAnalogElement(prop, matrix, elem, bound)
+			if err != nil {
+				return nil, fmt.Errorf("core: element %s: %w", elem, err)
+			}
+			if !verdict.Testable {
+				prog.AnalogUntestable = append(prog.AnalogUntestable, UntestableElement{
+					Element: elem, Bound: bound, Reason: verdict.Reason,
+				})
+				continue
+			}
+			prog.AnalogTests = append(prog.AnalogTests, AnalogTest{
+				Element:    elem,
+				Bound:      bound,
+				Param:      verdict.Param,
+				Deviation:  verdict.ED,
+				Stimulus:   verdict.Act.Stim,
+				Comparator: verdict.Act.Target,
+				Expect:     verdict.Act.Pattern[verdict.Act.Target-1],
+				FreeInputs: verdict.Prop.Vector,
+				Outputs:    verdict.Prop.Outputs,
+			})
+		}
+	}
+
+	// 2. Conversion-block element tests via the propagatable comparators.
+	census, err := mx.CensusPropagation(prop)
+	if err != nil {
+		return nil, err
+	}
+	opt := adc.DefaultEDOptions()
+	eds := mx.ConversionCoverage(census, opt)
+	best := mx.BestConversionComparators(census, opt)
+	for i := range eds {
+		if best[i] == 0 || math.IsInf(eds[i], 1) {
+			continue
+		}
+		prog.ConversionTests = append(prog.ConversionTests, ConversionTest{
+			Element:    fmt.Sprintf("R%d", i+1),
+			Comparator: best[i],
+			Deviation:  eds[i],
+		})
+	}
+
+	// 3. Constrained digital stuck-at vectors, compacted.
+	gen := prop.Generator()
+	fc := mx.Conv.ConstraintBDD(gen.Manager(), mx.Binding)
+	gen.SetConstraint(fc)
+	fs := faults.Collapse(mx.Digital)
+	res := gen.Run(fs)
+	prog.DigitalVectors = gen.Compact(res.Vectors, fs)
+	prog.DigitalFaults = res.Total
+	prog.DigitalCoverage = res.Coverage()
+	for _, f := range res.Untestable {
+		prog.DigitalUntestable = append(prog.DigitalUntestable, f.Name(mx.Digital))
+	}
+	sort.Strings(prog.DigitalUntestable)
+
+	prog.GeneratedIn = time.Since(start)
+	return prog, nil
+}
+
+// Write renders the program as a human-readable test plan.
+func (p *TestProgram) Write(w io.Writer) error {
+	pr := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	pr("TEST PROGRAM — %s (generated in %v)\n", p.CircuitName, p.GeneratedIn.Round(time.Millisecond))
+	pr("\n[1] analog element tests (%d)\n", len(p.AnalogTests))
+	for i, t := range p.AnalogTests {
+		pr("  %2d. %-4s %-5s bound: apply %v; comparator %d reads %v when |Δ%s| ≥ %.1f%%; free inputs %v; observe %v\n",
+			i+1, t.Element, t.Bound, t.Stimulus, t.Comparator, t.Expect,
+			t.Param, 100*t.Deviation, t.FreeInputs, t.Outputs)
+	}
+	for _, u := range p.AnalogUntestable {
+		pr("   !  %-4s %-5s bound: NOT TESTABLE (%s)\n", u.Element, u.Bound, u.Reason)
+	}
+	pr("\n[2] conversion-block element tests (%d)\n", len(p.ConversionTests))
+	for i, t := range p.ConversionTests {
+		pr("  %2d. %-4s via comparator %d at ≥ %.1f%% deviation\n",
+			i+1, t.Element, t.Comparator, 100*t.Deviation)
+	}
+	pr("\n[3] digital stuck-at vectors (%d for %d faults, coverage %.1f%%)\n",
+		len(p.DigitalVectors), p.DigitalFaults, 100*p.DigitalCoverage)
+	for i, v := range p.DigitalVectors {
+		pr("  %2d. %s\n", i+1, v)
+	}
+	if len(p.DigitalUntestable) > 0 {
+		pr("  untestable under the conversion constraints: %d\n", len(p.DigitalUntestable))
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/analog"
+	"repro/internal/atpg"
+	"repro/internal/circuits"
+	"repro/internal/faults"
+)
+
+func TestCompileProgramEndToEnd(t *testing.T) {
+	mx := testMixed(t)
+	elements := []string{"Rd", "Rg", "R1"}
+	matrix, err := analog.BuildMatrix(mx.Analog, elements, circuits.BandPassParams(),
+		analog.EDOptions{Tol: 0.05, ElemTol: 0, MaxDev: 20, Step: 1e-4})
+	if err != nil {
+		t.Fatalf("BuildMatrix: %v", err)
+	}
+	prog, err := CompileProgram(mx, matrix, elements)
+	if err != nil {
+		t.Fatalf("CompileProgram: %v", err)
+	}
+
+	// Analog: both bounds of all three elements are testable on this
+	// vehicle → six analog tests, none untestable.
+	if len(prog.AnalogTests) != 6 {
+		t.Errorf("analog tests = %d, want 6", len(prog.AnalogTests))
+	}
+	if len(prog.AnalogUntestable) != 0 {
+		t.Errorf("untestable analog elements: %+v", prog.AnalogUntestable)
+	}
+	for _, at := range prog.AnalogTests {
+		if at.Comparator < 1 || at.Comparator > mx.Conv.NumComparators() {
+			t.Errorf("%s: comparator %d out of range", at.Element, at.Comparator)
+		}
+		if !at.Expect.IsComposite() {
+			t.Errorf("%s: expected value %v is not composite", at.Element, at.Expect)
+		}
+		if len(at.Outputs) == 0 {
+			t.Errorf("%s: no observing outputs", at.Element)
+		}
+		if at.Stimulus.Amplitude <= 0 {
+			t.Errorf("%s: non-positive stimulus amplitude", at.Element)
+		}
+	}
+
+	// Conversion: both ladder resistors of the 2-comparator flash are
+	// covered (3 resistors for 2 comparators).
+	if len(prog.ConversionTests) != mx.Conv.NumResistors() {
+		t.Errorf("conversion tests = %d, want %d", len(prog.ConversionTests), mx.Conv.NumResistors())
+	}
+
+	// Digital: the Fig 3 vehicle under thermometer constraints (l2→l0)
+	// keeps full coverage of the testable faults, and the compacted
+	// vector set still detects everything it did before.
+	if prog.DigitalFaults == 0 || len(prog.DigitalVectors) == 0 {
+		t.Fatal("digital section empty")
+	}
+	gen := mustGen(t, mx)
+	fc := mx.Conv.ConstraintBDD(gen.Manager(), mx.Binding)
+	gen.SetConstraint(fc)
+	fs := faults.Collapse(mx.Digital)
+	sim := faults.NewSimulator(mx.Digital)
+	detected := sim.Coverage(prog.DigitalVectors, fs)
+	res := gen.Run(fs)
+	if detected != res.Detected {
+		t.Errorf("program vectors detect %d, full run detects %d", detected, res.Detected)
+	}
+
+	// The rendered plan mentions every section.
+	var sb strings.Builder
+	if err := prog.Write(&sb); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"TEST PROGRAM", "[1] analog element tests",
+		"[2] conversion-block element tests", "[3] digital stuck-at vectors", "Rd"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plan missing %q", want)
+		}
+	}
+}
+
+func mustGen(t *testing.T, mx *Mixed) *atpg.Generator {
+	t.Helper()
+	p, err := NewPropagator(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Generator()
+}
+
+func TestEstimateTesterTime(t *testing.T) {
+	mx := testMixed(t)
+	elements := []string{"Rd", "Rg"}
+	matrix, err := analog.BuildMatrix(mx.Analog, elements, circuits.BandPassParams(),
+		analog.EDOptions{Tol: 0.05, ElemTol: 0, MaxDev: 20, Step: 1e-4})
+	if err != nil {
+		t.Fatalf("BuildMatrix: %v", err)
+	}
+	prog, err := CompileProgram(mx, matrix, elements)
+	if err != nil {
+		t.Fatalf("CompileProgram: %v", err)
+	}
+	est, err := prog.EstimateTesterTime(mx, 1e6)
+	if err != nil {
+		t.Fatalf("EstimateTesterTime: %v", err)
+	}
+	if est.Total <= 0 {
+		t.Fatal("total time must be positive")
+	}
+	if est.Total != est.Settle+est.Observe+est.Conversion+est.Digital {
+		t.Error("breakdown does not sum to total")
+	}
+	// The band-pass (Q = 2 at 5 kHz) settles in well under 10 ms; four
+	// analog tests plus observation windows stay under a second.
+	if est.Total > time.Second {
+		t.Errorf("estimate implausibly long: %v", est.Total)
+	}
+	// Digital patterns at 1 MHz are microseconds — far below the analog
+	// part of the budget.
+	if est.Digital >= est.Settle {
+		t.Errorf("digital %v should be negligible next to settling %v", est.Digital, est.Settle)
+	}
+	if _, err := prog.EstimateTesterTime(mx, 0); err == nil {
+		t.Error("zero pattern rate must error")
+	}
+}

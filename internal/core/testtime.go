@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/waveform"
+)
+
+// TimeEstimate breaks down the tester time a TestProgram needs: each
+// analog measurement must wait for the filter to settle and then observe
+// a few stimulus periods; conversion tests are DC measurements; digital
+// vectors run at the tester's pattern rate.
+type TimeEstimate struct {
+	Settle     time.Duration // analog settling, all measurements
+	Observe    time.Duration // observation windows (10 periods per sine)
+	Conversion time.Duration // DC settles for the ladder tests
+	Digital    time.Duration // vector application
+	Total      time.Duration
+}
+
+// settleWindow doubles the step-response window until the settling point
+// falls inside it, returning the settling time. The settling band is 1%
+// of the response's peak magnitude (not its final value, which is zero
+// for band-pass blocks).
+func settleWindow(mx *Mixed) (time.Duration, error) {
+	window := 1e-4
+	for i := 0; i < 14; i++ {
+		s, err := waveform.StepResponse(mx.Analog, mx.AnalogOut, window, 1024)
+		if err != nil {
+			return 0, err
+		}
+		peak := 0.0
+		for _, v := range s {
+			if a := abs(v); a > peak {
+				peak = a
+			}
+		}
+		band := 0.01 * peak
+		if band == 0 {
+			band = 1e-9
+		}
+		ts := waveform.SettlingTime(s, window, band)
+		if ts < window/2 {
+			return time.Duration(ts * float64(time.Second)), nil
+		}
+		window *= 2
+	}
+	return 0, fmt.Errorf("core: analog block does not settle within the search range")
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// EstimateTesterTime estimates how long the program takes on a bench with
+// the given digital pattern rate (vectors per second). Every analog and
+// conversion measurement pays one settling interval; sine measurements
+// observe ten periods; DC measurements observe one settling interval.
+func (p *TestProgram) EstimateTesterTime(mx *Mixed, patternRate float64) (TimeEstimate, error) {
+	if patternRate <= 0 {
+		return TimeEstimate{}, fmt.Errorf("core: pattern rate must be positive, got %g", patternRate)
+	}
+	settle, err := settleWindow(mx)
+	if err != nil {
+		return TimeEstimate{}, err
+	}
+	var est TimeEstimate
+	for _, t := range p.AnalogTests {
+		est.Settle += settle
+		if t.Stimulus.Kind == waveform.Sine && t.Stimulus.Freq > 0 {
+			est.Observe += time.Duration(10 / t.Stimulus.Freq * float64(time.Second))
+		} else {
+			est.Observe += settle
+		}
+	}
+	est.Conversion = time.Duration(len(p.ConversionTests)) * 2 * settle
+	est.Digital = time.Duration(float64(len(p.DigitalVectors)) / patternRate * float64(time.Second))
+	est.Total = est.Settle + est.Observe + est.Conversion + est.Digital
+	return est, nil
+}

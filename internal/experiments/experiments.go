@@ -1,0 +1,70 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each experiment is a named Runner returning both a rendered
+// text table (printed by cmd/tables) and structured data (asserted by the
+// test suite and timed by the root benchmarks).
+//
+// Expected divergences from the printed paper — component values,
+// generated stand-ins for the ISCAS85 netlists, modern CPU times — are
+// catalogued in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Result is one reproduced artifact.
+type Result struct {
+	ID    string // experiment id, e.g. "table4"
+	Title string // paper artifact it reproduces
+	Text  string // rendered, paper-style table
+	Data  any    // experiment-specific structured payload
+}
+
+// Runner produces one experiment result.
+type Runner func() (*Result, error)
+
+// registry maps experiment ids to runners; populated by init functions in
+// the per-experiment files.
+var registry = map[string]entry{}
+
+type entry struct {
+	title string
+	run   Runner
+}
+
+func register(id, title string, run Runner) {
+	if _, dup := registry[id]; dup {
+		panic(fmt.Sprintf("experiments: duplicate id %q", id))
+	}
+	registry[id] = entry{title: title, run: run}
+}
+
+// IDs returns the registered experiment ids, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Title returns the registered title for an id.
+func Title(id string) (string, bool) {
+	e, ok := registry[id]
+	return e.title, ok
+}
+
+// Run executes the experiment with the given id.
+func Run(id string) (*Result, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	res, err := e.run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	return res, nil
+}

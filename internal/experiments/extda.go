@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/atpg"
+	"repro/internal/core"
+	"repro/internal/dac"
+	"repro/internal/faults"
+	"repro/internal/iscas"
+	"repro/internal/mna"
+)
+
+// ExtDARow is one measurement-accuracy point of the dual-configuration
+// experiment: digital faults observable only through the DAC and analog
+// output.
+type ExtDARow struct {
+	Tau        uint64 // required code change in LSB
+	Detected   int
+	Untestable int
+	Vectors    int
+	CPU        time.Duration
+}
+
+// ExtDAData is the payload of the extension experiment.
+type ExtDAData struct {
+	TotalFaults int
+	Rows        []ExtDARow
+	// LadderED is the R-2R element coverage (fraction per element, in
+	// dac.ElementNames order) — the DAC dual of Table 6.
+	LadderNames []string
+	LadderED    []float64
+	// AnalogED is the minimal detectable deviation of the analog
+	// divider elements through the whole DA chain.
+	AnalogED map[string]float64
+}
+
+func init() {
+	register("extda", "Extension — digital→DAC→analog configuration (the paper's announced dual)", runExtDA)
+}
+
+func runExtDA() (*Result, error) {
+	// Vehicle: the validation board's 74LS283 adder drives a 5-bit R-2R
+	// DAC into a divider-loaded RC low-pass (DC gain 0.5); the tester
+	// watches the analog output with varying accuracy.
+	adder := iscas.Adder283()
+	conv := dac.NewR2R(5, 2.56)
+	ana := mna.New("loadedrc")
+	ana.AddV("Vin", "in", "0", 1, 1)
+	ana.AddR("R1", "in", "out", 10e3)
+	ana.AddR("R2", "out", "0", 10e3)
+	ana.AddC("C", "out", "0", 10e-9)
+	mx, err := core.NewMixedDA(adder, []string{"s0", "s1", "s2", "s3", "c4"}, conv, ana, "out", 0.01)
+	if err != nil {
+		return nil, err
+	}
+
+	fs := faults.Collapse(adder)
+	data := ExtDAData{TotalFaults: len(fs)}
+	for _, tau := range []uint64{1, 2, 4, 8} {
+		g, err := atpg.New(adder)
+		if err != nil {
+			return nil, err
+		}
+		res := mx.RunDigitalDA(g, fs, tau)
+		data.Rows = append(data.Rows, ExtDARow{
+			Tau:        tau,
+			Detected:   res.Detected,
+			Untestable: len(res.Untestable),
+			Vectors:    len(res.Vectors),
+			CPU:        res.CPU,
+		})
+	}
+
+	data.LadderNames = conv.ElementNames()
+	data.LadderED = conv.CoverageTable(dac.DefaultEDOptions())
+
+	// Analog elements through the DA chain (5% output accuracy).
+	mx5, err := core.NewMixedDA(adder, []string{"s0", "s1", "s2", "s3", "c4"}, conv, ana, "out", 0.05)
+	if err != nil {
+		return nil, err
+	}
+	data.AnalogED = map[string]float64{}
+	for _, elem := range []string{"R1", "R2"} {
+		ed, err := mx5.AnalogElementEDDA(elem, 20)
+		if err != nil {
+			return nil, err
+		}
+		data.AnalogED[elem] = ed
+	}
+
+	rows := [][]string{{"τ [LSB]", "detected", "untestable", "vectors", "CPU"}}
+	for _, r := range data.Rows {
+		rows = append(rows, []string{
+			itoa(int(r.Tau)), itoa(r.Detected), itoa(r.Untestable), itoa(r.Vectors), fmtDur(r.CPU),
+		})
+	}
+	text := table(fmt.Sprintf("Extension — 74LS283 → 5-bit R-2R → RC low-pass (%d collapsed faults)", len(fs)), rows)
+	ladder := [][]string{{"E"}, {"ED[%]"}}
+	for i, n := range data.LadderNames {
+		ladder[0] = append(ladder[0], n)
+		ladder[1] = append(ladder[1], pct(data.LadderED[i]))
+	}
+	text += "\n" + table("R-2R ladder element coverage (5% output accuracy) — the DAC dual of Table 6", ladder)
+	text += fmt.Sprintf("\nanalog elements through the DA chain: R1 at %s, R2 at %s deviation\n",
+		pct(data.AnalogED["R1"]), pct(data.AnalogED["R2"]))
+
+	return &Result{
+		ID:    "extda",
+		Title: "Extension: digital → DAC → analog test generation",
+		Text:  text,
+		Data:  data,
+	}, nil
+}

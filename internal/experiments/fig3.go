@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/atpg"
+	"repro/internal/faults"
+	"repro/internal/iscas"
+)
+
+// Fig3Data is the structured payload of the Example 2 reproduction.
+type Fig3Data struct {
+	TotalFaults          int
+	StandaloneUntestable []string
+	ConstrainedUntest    []string
+	VectorForL3SA0       map[string]bool
+	StandaloneVectors    int
+	ConstrainedVectors   int
+}
+
+func init() {
+	register("fig3", "Example 2 / Figure 3 — constrained ATPG on the two-output circuit", runFig3)
+}
+
+func runFig3() (*Result, error) {
+	c := iscas.Fig3()
+	fs := faults.Stems(c)
+
+	// Case 1: the digital circuit alone.
+	gFree, err := atpg.New(c)
+	if err != nil {
+		return nil, err
+	}
+	free := gFree.Run(fs)
+
+	// Case 2: under the analog dependency Fc = l0 + l2.
+	gCons, err := atpg.New(c)
+	if err != nil {
+		return nil, err
+	}
+	m := gCons.Manager()
+	gCons.SetConstraint(m.Or(m.Var(iscas.Fig3Va), m.Var(iscas.Fig3Vb)))
+	cons := gCons.Run(fs)
+
+	l3 := c.MustSig(iscas.Fig3Gate3)
+	vec, ok := gCons.GenerateVector(faults.Fault{Signal: l3, Consumer: -1, Value: false})
+	if !ok {
+		return nil, fmt.Errorf("l3 s-a-0 unexpectedly untestable under Fc")
+	}
+
+	data := Fig3Data{
+		TotalFaults:        len(fs),
+		VectorForL3SA0:     vec.Assignment(c),
+		StandaloneVectors:  len(free.Vectors),
+		ConstrainedVectors: len(cons.Vectors),
+	}
+	for _, f := range free.Untestable {
+		data.StandaloneUntestable = append(data.StandaloneUntestable, f.Name(c))
+	}
+	for _, f := range cons.Untestable {
+		data.ConstrainedUntest = append(data.ConstrainedUntest, f.Name(c))
+	}
+
+	rows := [][]string{
+		{"case", "faults", "untestable", "vectors", "untestable faults"},
+		{"alone", itoa(len(fs)), itoa(len(free.Untestable)), itoa(len(free.Vectors)), join(data.StandaloneUntestable)},
+		{"with Fc=l0+l2", itoa(len(fs)), itoa(len(cons.Untestable)), itoa(len(cons.Vectors)), join(data.ConstrainedUntest)},
+	}
+	text := table("Example 2 — Figure 3 circuit, 18 uncollapsed stem faults", rows)
+	text += fmt.Sprintf("test for l3 s-a-0 under Fc: {l0,l1,l2,l4} = {%s,%s,%s,%s}\n",
+		bit(vec.Assignment(c)["l0"]), bit(vec.Assignment(c)["l1"]),
+		bit(vec.Assignment(c)["l2"]), bit(vec.Assignment(c)["l4"]))
+
+	return &Result{ID: "fig3", Title: "Example 2 (Figure 3)", Text: text, Data: data}, nil
+}
+
+func join(xs []string) string {
+	if len(xs) == 0 {
+		return "-"
+	}
+	out := xs[0]
+	for _, x := range xs[1:] {
+		out += ", " + x
+	}
+	return out
+}
+
+func bit(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}

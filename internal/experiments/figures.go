@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analog"
+	"repro/internal/circuits"
+	"repro/internal/iscas"
+	"repro/internal/mna"
+)
+
+// FigureData describes one schematic figure's realization: the circuit's
+// element inventory and its nominal performances.
+type FigureData struct {
+	Figure   string
+	Circuit  string
+	Elements []string
+	Nominal  map[string]float64
+}
+
+// FiguresData is the payload of the schematic-reproduction experiment.
+type FiguresData struct {
+	Analog  []FigureData
+	Digital map[string]string // figure → one-line netlist summary
+}
+
+func init() {
+	register("figures", "Figures 2/3/7/8 — schematic realizations and nominal performances", runFigures)
+}
+
+func runFigures() (*Result, error) {
+	data := FiguresData{Digital: map[string]string{}}
+	var text strings.Builder
+
+	analogFigs := []struct {
+		figure string
+		ckt    *mna.Circuit
+		elems  []string
+		params []analog.Parameter
+	}{
+		{"Figure 2 (2nd-order band-pass)", circuits.BandPass2(), circuits.BandPassElements, circuits.BandPassParams()},
+		{"Figure 7 (5th-order Chebyshev LPF)", circuits.Chebyshev5(), circuits.ChebyshevElements, circuits.ChebyshevParams()},
+		{"Figure 8 (state-variable board)", circuits.StateVariable(true), circuits.StateVarElements, circuits.StateVarParams()},
+	}
+	for _, fig := range analogFigs {
+		vals, err := analog.MeasureAll(fig.ckt, fig.params)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", fig.figure, err)
+		}
+		fd := FigureData{
+			Figure:   fig.figure,
+			Circuit:  fig.ckt.Name(),
+			Elements: fig.elems,
+			Nominal:  vals,
+		}
+		data.Analog = append(data.Analog, fd)
+		fmt.Fprintf(&text, "%s — %s: %d elements %v\n", fig.figure, fd.Circuit,
+			len(fd.Elements), fd.Elements)
+		for _, p := range fig.params {
+			fmt.Fprintf(&text, "    %-6s = %.5g\n", p.Name(), vals[p.Name()])
+		}
+	}
+
+	for _, d := range []struct {
+		figure string
+		name   string
+	}{
+		{"Figure 3 (two-output circuit)", "fig3"},
+		{"Figure 8 digital block (74LS283)", "adder283"},
+	} {
+		var c = iscas.Fig3()
+		if d.name == "adder283" {
+			c = iscas.Adder283()
+		}
+		st := c.Stats()
+		summary := fmt.Sprintf("%d inputs, %d outputs, %d gates, depth %d, %d lines (%s)",
+			st.Inputs, st.Outputs, st.Gates, st.Depth, st.Lines, c.GateTypeCounts())
+		data.Digital[d.figure] = summary
+		fmt.Fprintf(&text, "%s — %s\n", d.figure, summary)
+	}
+
+	return &Result{
+		ID:    "figures",
+		Title: "Schematic figures realized as netlists",
+		Text:  text.String(),
+		Data:  data,
+	}, nil
+}

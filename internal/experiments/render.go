@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// table renders rows of cells with aligned columns, a header separator
+// after the first row, and a title line.
+func table(title string, rows [][]string) string {
+	widths := map[int]int{}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	for ri, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			total := 0
+			for i := range row {
+				total += widths[i]
+				if i > 0 {
+					total += 2
+				}
+			}
+			b.WriteString(strings.Repeat("-", total))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// pct renders a fractional deviation as a percentage cell; +Inf becomes
+// the paper's dash for untestable entries.
+func pct(frac float64) string {
+	if math.IsInf(frac, 1) {
+		return "—"
+	}
+	v := frac * 100
+	switch {
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// itoa is a tiny strconv.Itoa stand-in keeping call sites short.
+func itoa(v int) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,118 @@
+package faults
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logic"
+)
+
+func TestCheckpointsOfAdder(t *testing.T) {
+	c := adder(t)
+	cps := Checkpoints(c)
+	// 3 PIs + 4 fanout-2 stems (a, b, cin, axb) → (3 + 8)·2 = 22 faults.
+	if len(cps) != 22 {
+		t.Errorf("checkpoints = %d, want 22", len(cps))
+	}
+	// All are PI stems or branches — never internal stems.
+	for _, f := range cps {
+		s := c.Signal(f.Signal)
+		if f.Consumer < 0 && s.Type != logic.TypeInput {
+			t.Errorf("internal stem %s in checkpoint list", f.Name(c))
+		}
+	}
+}
+
+func TestCheckpointTheoremOnAndOrCircuits(t *testing.T) {
+	// For AND/OR/NOT circuits, detecting every checkpoint fault detects
+	// every collapsed fault.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randNonXorCircuit(r)
+		sim := NewSimulator(c)
+		// Exhaustive vectors (small input counts).
+		n := len(c.Inputs())
+		if n > 10 {
+			return true
+		}
+		var vectors []Vector
+		for p := 0; p < 1<<uint(n); p++ {
+			v := make(Vector, n)
+			for j := range v {
+				v[j] = p&(1<<uint(j)) != 0
+			}
+			vectors = append(vectors, v)
+		}
+		cps := Checkpoints(c)
+		all := Collapse(c)
+		// Find the vectors that together detect all detectable
+		// checkpoint faults; then verify they detect every detectable
+		// collapsed fault.
+		det := sim.Detect(vectors, cps)
+		keep := map[int]bool{}
+		for _, d := range det {
+			if d >= 0 {
+				keep[d] = true
+			}
+		}
+		var subset []Vector
+		for i := range vectors {
+			if keep[i] {
+				subset = append(subset, vectors[i])
+			}
+		}
+		detAll := sim.Detect(vectors, all) // which faults are detectable at all
+		detSub := sim.Detect(subset, all)
+		for i := range all {
+			if detAll[i] >= 0 && detSub[i] < 0 {
+				return false // checkpoint set missed a detectable fault
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckpointsSmallerThanCollapse(t *testing.T) {
+	c := adder(t)
+	if len(Checkpoints(c)) >= len(All(c)) {
+		t.Error("checkpoint list must be smaller than the raw universe")
+	}
+}
+
+// randNonXorCircuit builds a random AND/OR/NAND/NOR/NOT circuit.
+func randNonXorCircuit(r *rand.Rand) *logic.Circuit {
+	c := logic.New("nx")
+	nIn := 3 + r.Intn(5)
+	var names []string
+	for i := 0; i < nIn; i++ {
+		n := "i" + strings.Repeat("i", i)
+		c.AddInput(n)
+		names = append(names, n)
+	}
+	types := []logic.GateType{logic.TypeAnd, logic.TypeNand, logic.TypeOr, logic.TypeNor, logic.TypeNot}
+	nG := 4 + r.Intn(12)
+	for g := 0; g < nG; g++ {
+		ty := types[r.Intn(len(types))]
+		var fanins []string
+		if ty == logic.TypeNot {
+			fanins = []string{names[r.Intn(len(names))]}
+		} else {
+			a, b := r.Intn(len(names)), r.Intn(len(names))
+			for b == a {
+				b = r.Intn(len(names))
+			}
+			fanins = []string{names[a], names[b]}
+		}
+		gn := "g" + strings.Repeat("g", g)
+		c.AddGate(gn, ty, fanins...)
+		names = append(names, gn)
+	}
+	c.MarkOutput(names[len(names)-1])
+	c.MarkOutput(names[len(names)-2])
+	return c.MustFreeze()
+}

@@ -1,0 +1,173 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+)
+
+// Signature is a fault's full-response signature over a vector set: for
+// each vector, which primary outputs differ from the good circuit. It is
+// the classic full-fault-dictionary entry, encoded as one uint64 per
+// vector with bit o set when output o miscompares (circuits here have
+// ≤ 64 outputs).
+type Signature []uint64
+
+// key folds a signature into a comparable string for map indexing.
+func (s Signature) key() string {
+	b := make([]byte, 0, len(s)*8)
+	for _, w := range s {
+		for i := 0; i < 8; i++ {
+			b = append(b, byte(w>>uint(8*i)))
+		}
+	}
+	return string(b)
+}
+
+// IsZero reports whether the signature shows no miscompare at all (the
+// fault is not detected by the vector set).
+func (s Signature) IsZero() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Dictionary is a full fault dictionary: per-fault response signatures
+// over a fixed vector set, indexed for diagnosis.
+type Dictionary struct {
+	c       *logic.Circuit
+	vectors []Vector
+	faults  []Fault
+	sigs    []Signature
+	byKey   map[string][]int // signature → fault indices (ambiguity sets)
+}
+
+// BuildDictionary simulates every fault against the vector set and
+// indexes the observed response signatures. Circuits with more than 64
+// primary outputs are rejected (one word per vector keeps the dictionary
+// compact).
+func BuildDictionary(c *logic.Circuit, vectors []Vector, fs []Fault) (*Dictionary, error) {
+	if len(c.Outputs()) > 64 {
+		return nil, fmt.Errorf("faults: dictionary supports ≤64 outputs, circuit has %d", len(c.Outputs()))
+	}
+	d := &Dictionary{
+		c:       c,
+		vectors: append([]Vector(nil), vectors...),
+		faults:  append([]Fault(nil), fs...),
+		sigs:    make([]Signature, len(fs)),
+		byKey:   map[string][]int{},
+	}
+	// Good responses once per vector.
+	good := make([]uint64, len(vectors))
+	for vi, v := range vectors {
+		good[vi] = d.outputWord(v, NoOverrideFault, false)
+	}
+	for fi, f := range fs {
+		sig := make(Signature, len(vectors))
+		for vi, v := range vectors {
+			bad := d.outputWord(v, f, true)
+			sig[vi] = good[vi] ^ bad
+		}
+		d.sigs[fi] = sig
+		k := sig.key()
+		d.byKey[k] = append(d.byKey[k], fi)
+	}
+	return d, nil
+}
+
+// NoOverrideFault is a placeholder for good-circuit simulation.
+var NoOverrideFault = Fault{Signal: -1, Consumer: -1}
+
+// outputWord simulates one vector and packs the primary outputs into a
+// word (bit i = output i).
+func (d *Dictionary) outputWord(v Vector, f Fault, faulty bool) uint64 {
+	in := make([]uint64, len(d.c.Inputs()))
+	for i := range in {
+		if v[i] {
+			in[i] = 1
+		}
+	}
+	var vals []uint64
+	if faulty {
+		vals = d.c.SimWordsFaulty(in, f.Override())
+	} else {
+		vals = d.c.SimWords(in)
+	}
+	var w uint64
+	for i, id := range d.c.Outputs() {
+		if vals[id]&1 != 0 {
+			w |= 1 << uint(i)
+		}
+	}
+	return w
+}
+
+// Signature returns the stored signature of fault index fi.
+func (d *Dictionary) Signature(fi int) Signature { return d.sigs[fi] }
+
+// Faults returns the dictionary's fault list.
+func (d *Dictionary) Faults() []Fault { return d.faults }
+
+// Diagnose returns the faults whose stored signature exactly matches the
+// observed one, sorted by fault index — the candidate ambiguity set. An
+// all-zero observation returns nil (nothing failed).
+func (d *Dictionary) Diagnose(observed Signature) []Fault {
+	if observed.IsZero() {
+		return nil
+	}
+	idx := d.byKey[observed.key()]
+	sort.Ints(idx)
+	out := make([]Fault, len(idx))
+	for i, fi := range idx {
+		out[i] = d.faults[fi]
+	}
+	return out
+}
+
+// ObserveFault simulates the given fault against the dictionary's vector
+// set and returns its response signature — convenience for tests and the
+// diagnosis examples ("tester output" for a known defect).
+func (d *Dictionary) ObserveFault(f Fault) Signature {
+	good := make([]uint64, len(d.vectors))
+	sig := make(Signature, len(d.vectors))
+	for vi, v := range d.vectors {
+		good[vi] = d.outputWord(v, NoOverrideFault, false)
+		sig[vi] = good[vi] ^ d.outputWord(v, f, true)
+	}
+	return sig
+}
+
+// Diagnosability summarises how well the vector set distinguishes the
+// fault list.
+type Diagnosability struct {
+	Faults        int
+	Undetected    int // all-zero signatures
+	Distinguished int // faults alone in their ambiguity set
+	Classes       int // distinct non-zero signatures
+	LargestClass  int
+}
+
+// Diagnosability computes the dictionary's resolution statistics. All
+// faults in one ambiguity set share a signature by construction, so the
+// first member's signature classifies the whole set.
+func (d *Dictionary) Diagnosability() Diagnosability {
+	res := Diagnosability{Faults: len(d.faults)}
+	for _, idx := range d.byKey {
+		if d.sigs[idx[0]].IsZero() {
+			res.Undetected += len(idx)
+			continue
+		}
+		res.Classes++
+		if len(idx) == 1 {
+			res.Distinguished++
+		}
+		if len(idx) > res.LargestClass {
+			res.LargestClass = len(idx)
+		}
+	}
+	return res
+}

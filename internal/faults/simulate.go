@@ -1,0 +1,137 @@
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// Vector is one fully specified input pattern, aligned with the circuit's
+// Inputs() order.
+type Vector []bool
+
+// VectorFromAssignment builds a Vector from a named assignment; inputs
+// absent from the map default to false.
+func VectorFromAssignment(c *logic.Circuit, assign map[string]bool) Vector {
+	v := make(Vector, len(c.Inputs()))
+	for i, id := range c.Inputs() {
+		v[i] = assign[c.Signal(id).Name]
+	}
+	return v
+}
+
+// Assignment renders the vector as a name → value map.
+func (v Vector) Assignment(c *logic.Circuit) map[string]bool {
+	out := make(map[string]bool, len(v))
+	for i, id := range c.Inputs() {
+		out[c.Signal(id).Name] = v[i]
+	}
+	return out
+}
+
+// String renders the vector as a bit string in input order.
+func (v Vector) String() string {
+	buf := make([]byte, len(v))
+	for i, b := range v {
+		if b {
+			buf[i] = '1'
+		} else {
+			buf[i] = '0'
+		}
+	}
+	return string(buf)
+}
+
+// Simulator runs bit-parallel fault simulation over one circuit.
+type Simulator struct {
+	c *logic.Circuit
+}
+
+// NewSimulator creates a fault simulator for the (frozen) circuit.
+func NewSimulator(c *logic.Circuit) *Simulator {
+	if !c.Frozen() {
+		panic(fmt.Sprintf("faults: circuit %q must be frozen", c.Name))
+	}
+	return &Simulator{c: c}
+}
+
+// packWords packs up to 64 vectors starting at base into per-input words.
+func (s *Simulator) packWords(vectors []Vector, base int) ([]uint64, int) {
+	nIn := len(s.c.Inputs())
+	words := make([]uint64, nIn)
+	n := len(vectors) - base
+	if n > 64 {
+		n = 64
+	}
+	for p := 0; p < n; p++ {
+		v := vectors[base+p]
+		for i := 0; i < nIn; i++ {
+			if v[i] {
+				words[i] |= 1 << uint(p)
+			}
+		}
+	}
+	return words, n
+}
+
+// Detect simulates the vectors against the fault list and returns, for
+// each fault, the index of the first detecting vector, or -1 if none
+// detects it. Detected faults are dropped from further batches.
+func (s *Simulator) Detect(vectors []Vector, fs []Fault) []int {
+	res := make([]int, len(fs))
+	for i := range res {
+		res[i] = -1
+	}
+	remaining := make([]int, len(fs))
+	for i := range fs {
+		remaining[i] = i
+	}
+	for base := 0; base < len(vectors) && len(remaining) > 0; base += 64 {
+		words, n := s.packWords(vectors, base)
+		mask := ^uint64(0)
+		if n < 64 {
+			mask = (uint64(1) << uint(n)) - 1
+		}
+		good := s.c.OutputWords(s.c.SimWords(words))
+		next := remaining[:0]
+		for _, fi := range remaining {
+			f := fs[fi]
+			bad := s.c.OutputWords(s.c.SimWordsFaulty(words, f.Override()))
+			var diff uint64
+			for o := range good {
+				diff |= (good[o] ^ bad[o]) & mask
+			}
+			if diff != 0 {
+				// Lowest set bit = first detecting vector in this batch.
+				bit := 0
+				for diff&1 == 0 {
+					diff >>= 1
+					bit++
+				}
+				res[fi] = base + bit
+			} else {
+				next = append(next, fi)
+			}
+		}
+		remaining = next
+	}
+	return res
+}
+
+// Coverage simulates the vectors and returns the number of detected
+// faults.
+func (s *Simulator) Coverage(vectors []Vector, fs []Fault) int {
+	det := s.Detect(vectors, fs)
+	n := 0
+	for _, d := range det {
+		if d >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// DetectsFault reports whether the single vector detects the single fault.
+func (s *Simulator) DetectsFault(v Vector, f Fault) bool {
+	return s.c.Detects(v.Assignment(s.c), f.Override())
+}

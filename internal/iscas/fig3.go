@@ -1,0 +1,106 @@
+// Package iscas provides the digital benchmark circuits of the paper's
+// experiments: the exact two-output vehicle of Figure 3 (Example 2), the
+// 74LS283 4-bit binary adder of the Figure 8 board, and a seeded
+// structural generator that reproduces the published interfaces of the
+// ISCAS85 circuits c432/c499/c880/c1355/c1908 (the original netlists are
+// not redistributable inside this offline module; see DESIGN.md for the
+// substitution argument).
+package iscas
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// Fig3 input/output line names, following the paper's labels: l0 and l2
+// are driven by the comparators on Va and Vb, l1 and l4 are free primary
+// inputs.
+const (
+	Fig3Va    = "l0"
+	Fig3In1   = "l1"
+	Fig3Vb    = "l2"
+	Fig3In4   = "l4"
+	Fig3Gate3 = "l3"
+	Fig3Out1  = "Vo1"
+	Fig3Out2  = "Vo2"
+)
+
+// Fig3 builds the two-output circuit of Figure 3. Nine named lines carry
+// the example's 18 uncollapsed stem faults:
+//
+//	l3  = OR(l0, l2)
+//	l5  = XOR(l3, l1)
+//	l6  = NAND(l2, l4)
+//	Vo1 = BUF(l5)   (the Co1 capture stage)
+//	Vo2 = BUF(l6)   (the Co2 capture stage)
+//
+// Standalone the circuit is fully testable. Under the analog dependency
+// Fc = l0 + l2 (the comparators cannot both be 0) exactly two stem faults
+// become untestable: l0 s-a-1 (blocked at the OR because Fc forces l2 = 1
+// whenever l0 = 0) and l3 s-a-1 (activation requires l0 = l2 = 0). The
+// constrained test for l3 s-a-0 is {l0,l1,l2,l4} = {0,0,1,X}, as in the
+// paper.
+func Fig3() *logic.Circuit {
+	c := logic.New("fig3")
+	c.AddInput(Fig3Va)
+	c.AddInput(Fig3In1)
+	c.AddInput(Fig3Vb)
+	c.AddInput(Fig3In4)
+	c.AddGate(Fig3Gate3, logic.TypeOr, Fig3Va, Fig3Vb)
+	c.AddGate("l5", logic.TypeXor, Fig3Gate3, Fig3In1)
+	c.AddGate("l6", logic.TypeNand, Fig3Vb, Fig3In4)
+	c.AddGate(Fig3Out1, logic.TypeBuf, "l5")
+	c.AddGate(Fig3Out2, logic.TypeBuf, "l6")
+	c.MarkOutput(Fig3Out1)
+	c.MarkOutput(Fig3Out2)
+	return c.MustFreeze()
+}
+
+// Fig3ConstrainedLines returns the names of the digital inputs bound to
+// the conversion block, in comparator order (Va's comparator, Vb's).
+func Fig3ConstrainedLines() []string { return []string{Fig3Va, Fig3Vb} }
+
+// Adder283 builds the 74LS283 4-bit binary full adder of the Figure 8
+// board as a ripple-carry of four full-adder cells. Inputs a0..a3, b0..b3
+// and c0; outputs s0..s3 and c4 (LSB first).
+func Adder283() *logic.Circuit {
+	c := logic.New("adder283")
+	for i := 0; i < 4; i++ {
+		c.AddInput(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < 4; i++ {
+		c.AddInput(fmt.Sprintf("b%d", i))
+	}
+	c.AddInput("c0")
+	carry := "c0"
+	for i := 0; i < 4; i++ {
+		a, b := fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i)
+		axb := fmt.Sprintf("axb%d", i)
+		ab := fmt.Sprintf("ab%d", i)
+		ac := fmt.Sprintf("ac%d", i)
+		s := fmt.Sprintf("s%d", i)
+		next := fmt.Sprintf("c%d", i+1)
+		c.AddGate(axb, logic.TypeXor, a, b)
+		c.AddGate(s, logic.TypeXor, axb, carry)
+		c.AddGate(ab, logic.TypeAnd, a, b)
+		c.AddGate(ac, logic.TypeAnd, axb, carry)
+		c.AddGate(next, logic.TypeOr, ab, ac)
+		carry = next
+	}
+	for i := 0; i < 4; i++ {
+		c.MarkOutput(fmt.Sprintf("s%d", i))
+	}
+	c.MarkOutput("c4")
+	return c.MustFreeze()
+}
+
+// AdderInputsLSBFirst returns the adder's A and B input names, LSB first,
+// for binding to ADC output bits.
+func AdderInputsLSBFirst() (a, b []string) {
+	for i := 0; i < 4; i++ {
+		a = append(a, fmt.Sprintf("a%d", i))
+		b = append(b, fmt.Sprintf("b%d", i))
+	}
+	return a, b
+}

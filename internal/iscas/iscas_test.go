@@ -1,0 +1,297 @@
+package iscas
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/atpg"
+	"repro/internal/faults"
+	"repro/internal/logic"
+)
+
+func TestFig3StructureAndFaultCount(t *testing.T) {
+	c := Fig3()
+	st := c.Stats()
+	if st.Inputs != 4 || st.Outputs != 2 {
+		t.Errorf("interface = %d/%d, want 4/2", st.Inputs, st.Outputs)
+	}
+	// 9 named lines → 18 uncollapsed stem faults, as in Example 2.
+	if got := len(faults.Stems(c)); got != 18 {
+		t.Errorf("stem faults = %d, want 18", got)
+	}
+}
+
+func TestFig3FullyTestableStandalone(t *testing.T) {
+	c := Fig3()
+	g, err := atpg.New(c)
+	if err != nil {
+		t.Fatalf("atpg.New: %v", err)
+	}
+	res := g.Run(faults.Stems(c))
+	if len(res.Untestable) != 0 {
+		for _, f := range res.Untestable {
+			t.Errorf("standalone untestable: %s", f.Name(c))
+		}
+	}
+}
+
+func TestFig3ExactlyTwoUntestableUnderFc(t *testing.T) {
+	c := Fig3()
+	g, err := atpg.New(c)
+	if err != nil {
+		t.Fatalf("atpg.New: %v", err)
+	}
+	m := g.Manager()
+	// Fc = l0 + l2: the two comparator-driven lines cannot both be 0.
+	fc := m.Or(m.Var(Fig3Va), m.Var(Fig3Vb))
+	g.SetConstraint(fc)
+	res := g.Run(faults.Stems(c))
+	if len(res.Untestable) != 2 {
+		t.Fatalf("untestable = %d, want 2 (%v)", len(res.Untestable),
+			names(c, res.Untestable))
+	}
+	got := names(c, res.Untestable)
+	want := map[string]bool{"l0 s-a-1": true, "l3 s-a-1": true}
+	for _, n := range got {
+		if !want[n] {
+			t.Errorf("unexpected untestable fault %s", n)
+		}
+	}
+}
+
+func TestFig3VectorForL3SA0(t *testing.T) {
+	c := Fig3()
+	g, err := atpg.New(c)
+	if err != nil {
+		t.Fatalf("atpg.New: %v", err)
+	}
+	m := g.Manager()
+	g.SetConstraint(m.Or(m.Var(Fig3Va), m.Var(Fig3Vb)))
+	l3 := c.MustSig(Fig3Gate3)
+	v, ok := g.GenerateVector(faults.Fault{Signal: l3, Consumer: -1, Value: false})
+	if !ok {
+		t.Fatal("l3 s-a-0 must be testable under Fc")
+	}
+	// The paper's vector: {l0, l1, l2, l4} = {0, 0, 1, X}.
+	a := v.Assignment(c)
+	if a[Fig3Va] || a[Fig3In1] || !a[Fig3Vb] {
+		t.Errorf("vector = %v, want l0=0, l1=0, l2=1", a)
+	}
+}
+
+func TestAdder283AddsCorrectly(t *testing.T) {
+	c := Adder283()
+	for a := 0; a < 16; a++ {
+		for b := 0; b < 16; b++ {
+			for cin := 0; cin < 2; cin++ {
+				assign := map[string]bool{"c0": cin == 1}
+				for i := 0; i < 4; i++ {
+					assign["a"+string(rune('0'+i))] = a&(1<<uint(i)) != 0
+					assign["b"+string(rune('0'+i))] = b&(1<<uint(i)) != 0
+				}
+				outs := c.EvalOutputs(assign) // s0..s3, c4
+				got := 0
+				for i := 0; i < 4; i++ {
+					if outs[i] {
+						got |= 1 << uint(i)
+					}
+				}
+				if outs[4] {
+					got |= 16
+				}
+				if got != a+b+cin {
+					t.Fatalf("%d+%d+%d = %d, want %d", a, b, cin, got, a+b+cin)
+				}
+			}
+		}
+	}
+}
+
+func TestAdder283FullyTestable(t *testing.T) {
+	c := Adder283()
+	g, err := atpg.New(c)
+	if err != nil {
+		t.Fatalf("atpg.New: %v", err)
+	}
+	res := g.Run(faults.Collapse(c))
+	if len(res.Untestable) != 0 {
+		t.Errorf("untestable = %d, want 0", len(res.Untestable))
+	}
+}
+
+func TestProfilesMatchPublishedInterfaces(t *testing.T) {
+	published := map[string][2]int{
+		"c432": {36, 7}, "c499": {41, 32}, "c880": {60, 26},
+		"c1355": {41, 32}, "c1908": {33, 25},
+	}
+	for _, n := range BenchmarkNames {
+		c := MustBenchmark(n)
+		st := c.Stats()
+		want := published[n]
+		if st.Inputs != want[0] || st.Outputs != want[1] {
+			t.Errorf("%s interface = %d/%d, want %d/%d", n, st.Inputs, st.Outputs, want[0], want[1])
+		}
+	}
+}
+
+func TestBenchmarkDeterminism(t *testing.T) {
+	a := MustBenchmark("c432")
+	b := MustBenchmark("c432")
+	var wa, wb strings.Builder
+	if err := a.WriteBench(&wa); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteBench(&wb); err != nil {
+		t.Fatal(err)
+	}
+	if wa.String() != wb.String() {
+		t.Error("generator is not deterministic")
+	}
+}
+
+func TestBenchmarkCollapsedFaultCountsNearPublished(t *testing.T) {
+	published := map[string]int{
+		"c432": 524, "c499": 758, "c880": 942, "c1355": 1574, "c1908": 1979,
+	}
+	for _, n := range BenchmarkNames {
+		c := MustBenchmark(n)
+		got := len(faults.Collapse(c))
+		want := published[n]
+		// Within 50% of the published count: the generator approximates
+		// size class, not the exact netlist.
+		if got < want/2 || got > want*3/2 {
+			t.Errorf("%s collapsed = %d, published %d (outside size class)", n, got, want)
+		}
+	}
+}
+
+func TestBenchmarkLowRedundancy(t *testing.T) {
+	// The published circuits have tiny untestable counts (0–9 of
+	// hundreds). The generated ones must too — this is what separates
+	// structured generation from a random mesh.
+	wantMax := map[string]int{"c432": 6, "c499": 10, "c880": 2, "c1355": 10, "c1908": 14}
+	for _, n := range BenchmarkNames {
+		c := MustBenchmark(n)
+		g, err := atpg.New(c)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		res := g.Run(faults.Collapse(c))
+		if len(res.Aborted) != 0 {
+			t.Errorf("%s: %d aborted faults (BDDs too large)", n, len(res.Aborted))
+		}
+		if len(res.Untestable) > wantMax[n] {
+			t.Errorf("%s: %d untestable without constraints, want ≤ %d",
+				n, len(res.Untestable), wantMax[n])
+		}
+	}
+}
+
+func TestExpandXorsPreservesFunction(t *testing.T) {
+	base := MustBenchmark("c499")
+	exp := ExpandXors(base)
+	if exp.NumGates() <= base.NumGates() {
+		t.Error("expansion must add gates")
+	}
+	// Compare on 64 random-ish patterns via bit-parallel sim.
+	in := make([]uint64, len(base.Inputs()))
+	for i := range in {
+		in[i] = 0x9E3779B97F4A7C15 * uint64(i+1)
+	}
+	ob := base.OutputWords(base.SimWords(in))
+	oe := exp.OutputWords(exp.SimWords(in))
+	for i := range ob {
+		if ob[i] != oe[i] {
+			t.Errorf("output %d differs after XOR expansion", i)
+		}
+	}
+}
+
+func TestExpandXorsHandlesXnor(t *testing.T) {
+	c := logic.New("x")
+	c.AddInput("a")
+	c.AddInput("b")
+	c.AddGate("y", logic.TypeXnor, "a", "b")
+	c.MarkOutput("y")
+	c.MustFreeze()
+	e := ExpandXors(c)
+	for mask := 0; mask < 4; mask++ {
+		assign := map[string]bool{"a": mask&1 != 0, "b": mask&2 != 0}
+		if c.EvalOutputs(assign)[0] != e.EvalOutputs(assign)[0] {
+			t.Errorf("XNOR expansion differs at %v", assign)
+		}
+	}
+}
+
+func TestUnknownBenchmark(t *testing.T) {
+	if _, err := Benchmark("c9999"); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
+}
+
+func TestAdderInputsLSBFirst(t *testing.T) {
+	a, b := AdderInputsLSBFirst()
+	if len(a) != 4 || len(b) != 4 || a[0] != "a0" || b[3] != "b3" {
+		t.Errorf("a=%v b=%v", a, b)
+	}
+	c := Adder283()
+	for _, n := range append(a, b...) {
+		if _, ok := c.SigByName(n); !ok {
+			t.Errorf("adder missing input %s", n)
+		}
+	}
+}
+
+func TestFig3ConstrainedLines(t *testing.T) {
+	lines := Fig3ConstrainedLines()
+	if len(lines) != 2 || lines[0] != "l0" || lines[1] != "l2" {
+		t.Errorf("constrained lines = %v", lines)
+	}
+}
+
+// The generated benchmarks must keep OBDD sizes modest — the windowed
+// lane construction is what makes the paper's BDD approach feasible.
+func TestBenchmarkBDDsStaySmall(t *testing.T) {
+	for _, n := range BenchmarkNames {
+		c := MustBenchmark(n)
+		g, err := atpg.New(c, atpg.WithNodeLimit(1<<20))
+		if err != nil {
+			t.Errorf("%s: good-circuit BDDs exceed 1M nodes: %v", n, err)
+			continue
+		}
+		if g.Manager().Size() > 1<<20 {
+			t.Errorf("%s: %d nodes", n, g.Manager().Size())
+		}
+	}
+}
+
+func names(c *logic.Circuit, fs []faults.Fault) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Name(c)
+	}
+	return out
+}
+
+// The generated benchmarks must round-trip through the .bench format with
+// proven functional equality (BDD miter, not sampling).
+func TestGeneratedBenchmarkBenchRoundTripProven(t *testing.T) {
+	for _, name := range []string{"c432", "c499"} {
+		c := MustBenchmark(name)
+		var sb strings.Builder
+		if err := c.WriteBench(&sb); err != nil {
+			t.Fatalf("%s: WriteBench: %v", name, err)
+		}
+		back, err := logic.ParseBench(name+"rt", strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("%s: ParseBench: %v", name, err)
+		}
+		res, err := atpg.Equivalent(c, back)
+		if err != nil {
+			t.Fatalf("%s: Equivalent: %v", name, err)
+		}
+		if !res.Equivalent {
+			t.Errorf("%s: round trip changed the function at %s", name, res.Output)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package logic
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ParseBench reads a circuit in the ISCAS ".bench" netlist format:
+//
+//	# comment
+//	INPUT(G1)
+//	OUTPUT(G17)
+//	G10 = NAND(G1, G3)
+//	G17 = NOT(G10)
+//
+// Gate keywords are case-insensitive. The returned circuit is frozen.
+func ParseBench(name string, r io.Reader) (*Circuit, error) {
+	c := New(name)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	var outputs []string
+	type pendingGate struct {
+		name   string
+		t      GateType
+		fanins []string
+		line   int
+	}
+	var gates []pendingGate
+	declared := map[string]bool{}
+
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		upper := strings.ToUpper(line)
+		switch {
+		case strings.HasPrefix(upper, "INPUT"):
+			arg, err := parseParen(line)
+			if err != nil {
+				return nil, fmt.Errorf("logic: %s:%d: %v", name, lineNo, err)
+			}
+			c.AddInput(arg)
+			declared[arg] = true
+		case strings.HasPrefix(upper, "OUTPUT"):
+			arg, err := parseParen(line)
+			if err != nil {
+				return nil, fmt.Errorf("logic: %s:%d: %v", name, lineNo, err)
+			}
+			outputs = append(outputs, arg)
+		default:
+			eq := strings.Index(line, "=")
+			if eq < 0 {
+				return nil, fmt.Errorf("logic: %s:%d: cannot parse %q", name, lineNo, line)
+			}
+			lhs := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			op := strings.Index(rhs, "(")
+			cp := strings.LastIndex(rhs, ")")
+			if op < 0 || cp < op {
+				return nil, fmt.Errorf("logic: %s:%d: malformed gate %q", name, lineNo, line)
+			}
+			kw := strings.ToUpper(strings.TrimSpace(rhs[:op]))
+			t, ok := parseGateType(kw)
+			if !ok {
+				return nil, fmt.Errorf("logic: %s:%d: unknown gate type %q", name, lineNo, kw)
+			}
+			var fanins []string
+			for _, f := range strings.Split(rhs[op+1:cp], ",") {
+				f = strings.TrimSpace(f)
+				if f == "" {
+					return nil, fmt.Errorf("logic: %s:%d: empty fanin in %q", name, lineNo, line)
+				}
+				fanins = append(fanins, f)
+			}
+			gates = append(gates, pendingGate{name: lhs, t: t, fanins: fanins, line: lineNo})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("logic: reading %s: %w", name, err)
+	}
+
+	// Gates may appear before their fanins in .bench files; add them in
+	// dependency order.
+	pendingByName := map[string]*pendingGate{}
+	for i := range gates {
+		pendingByName[gates[i].name] = &gates[i]
+	}
+	var addGate func(g *pendingGate, chain map[string]bool) error
+	addGate = func(g *pendingGate, chain map[string]bool) error {
+		if declared[g.name] {
+			return nil
+		}
+		if chain[g.name] {
+			return fmt.Errorf("logic: %s:%d: combinational cycle through %q", name, g.line, g.name)
+		}
+		chain[g.name] = true
+		for _, f := range g.fanins {
+			if declared[f] {
+				continue
+			}
+			fg, ok := pendingByName[f]
+			if !ok {
+				return fmt.Errorf("logic: %s:%d: gate %q references undefined signal %q", name, g.line, g.name, f)
+			}
+			if err := addGate(fg, chain); err != nil {
+				return err
+			}
+		}
+		delete(chain, g.name)
+		c.AddGate(g.name, g.t, g.fanins...)
+		declared[g.name] = true
+		return nil
+	}
+	for i := range gates {
+		if err := addGate(&gates[i], map[string]bool{}); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range outputs {
+		if !declared[o] {
+			return nil, fmt.Errorf("logic: %s: OUTPUT(%s) references undefined signal", name, o)
+		}
+		c.MarkOutput(o)
+	}
+	if err := c.Freeze(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func parseParen(line string) (string, error) {
+	op := strings.Index(line, "(")
+	cp := strings.LastIndex(line, ")")
+	if op < 0 || cp < op {
+		return "", fmt.Errorf("malformed declaration %q", line)
+	}
+	arg := strings.TrimSpace(line[op+1 : cp])
+	if arg == "" {
+		return "", fmt.Errorf("empty name in %q", line)
+	}
+	return arg, nil
+}
+
+// WriteBench emits the circuit in .bench format; ParseBench(WriteBench(c))
+// round-trips. Gates are written in topological order.
+func (c *Circuit) WriteBench(w io.Writer) error {
+	c.mustBeFrozen()
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s: %d inputs, %d outputs, %d gates\n",
+		c.Name, len(c.inputs), len(c.outputs), c.NumGates())
+	for _, id := range c.inputs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.signals[id].Name)
+	}
+	for _, id := range c.outputs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.signals[id].Name)
+	}
+	for _, id := range c.order {
+		s := &c.signals[id]
+		names := make([]string, len(s.Fanin))
+		for i, f := range s.Fanin {
+			names[i] = c.signals[f].Name
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", s.Name, s.Type, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}
+
+// FanoutHistogram returns fanout-count → number of signals, used by the
+// benchmark generator's self-checks.
+func (c *Circuit) FanoutHistogram() map[int]int {
+	h := map[int]int{}
+	for i := range c.signals {
+		h[len(c.signals[i].Fanout)]++
+	}
+	return h
+}
+
+// GateTypeCounts returns a deterministic summary like "AND:3 NAND:10 ...".
+func (c *Circuit) GateTypeCounts() string {
+	counts := map[GateType]int{}
+	for i := range c.signals {
+		if c.signals[i].Type != TypeInput {
+			counts[c.signals[i].Type]++
+		}
+	}
+	var keys []int
+	for t := range counts {
+		keys = append(keys, int(t))
+	}
+	sort.Ints(keys)
+	var parts []string
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s:%d", GateType(k), counts[GateType(k)]))
+	}
+	return strings.Join(parts, " ")
+}

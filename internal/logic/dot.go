@@ -1,0 +1,45 @@
+package logic
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDot renders the netlist in Graphviz DOT format: inputs as
+// triangles, outputs double-circled, gates labelled with their type.
+// Useful for inspecting the small example circuits (Figure 3) and the
+// generated benchmarks.
+func (c *Circuit) WriteDot(w io.Writer) error {
+	c.mustBeFrozen()
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n", c.Name)
+	fmt.Fprintln(bw, "  rankdir=LR;")
+	isOutput := map[SigID]bool{}
+	for _, o := range c.outputs {
+		isOutput[o] = true
+	}
+	for i := range c.signals {
+		id := SigID(i)
+		s := &c.signals[i]
+		shape := "box"
+		label := fmt.Sprintf("%s\\n%s", s.Name, s.Type)
+		if s.Type == TypeInput {
+			shape = "triangle"
+			label = s.Name
+		}
+		peripheries := 1
+		if isOutput[id] {
+			peripheries = 2
+		}
+		fmt.Fprintf(bw, "  n%d [shape=%s,peripheries=%d,label=\"%s\"];\n",
+			i, shape, peripheries, label)
+	}
+	for i := range c.signals {
+		for _, f := range c.signals[i].Fanin {
+			fmt.Fprintf(bw, "  n%d -> n%d;\n", f, i)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

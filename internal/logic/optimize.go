@@ -1,0 +1,209 @@
+package logic
+
+import "fmt"
+
+// Optimize returns a functionally equivalent circuit with constants
+// propagated, one-input gate chains (BUF, single-literal AND/OR, …)
+// collapsed, and gates outside the output cones removed. Primary input
+// and primary output names are preserved exactly; surviving internal
+// gates keep their names. Typical consumers are time-frame-expanded
+// circuits, whose frame-0 state inputs are constants, and the XOR
+// expansion, which leaves buffer chains behind.
+func Optimize(c *Circuit) *Circuit {
+	c.mustBeFrozen()
+
+	// value classifies each source signal after simplification.
+	type value struct {
+		isConst bool
+		cval    bool
+		alias   SigID // meaningful when !isConst: the representative source
+	}
+	vals := make([]value, c.NumSignals())
+	// needGate marks signals that must materialise as gates in the
+	// output (they compute something beyond a constant or an alias).
+	needGate := make([]bool, c.NumSignals())
+	// simplified fanins for materialised gates.
+	type simpleGate struct {
+		t      GateType
+		fanins []SigID
+		invert bool // XOR parity / NOT-of-alias handling
+	}
+	gates := make([]simpleGate, c.NumSignals())
+
+	for _, id := range c.Inputs() {
+		vals[id] = value{alias: id}
+	}
+	for _, id := range c.TopoOrder() {
+		s := c.Signal(id)
+		switch s.Type {
+		case TypeConst0:
+			vals[id] = value{isConst: true, cval: false}
+			continue
+		case TypeConst1:
+			vals[id] = value{isConst: true, cval: true}
+			continue
+		}
+		// Resolve fanins.
+		var live []SigID
+		consts := []bool{}
+		for _, f := range s.Fanin {
+			v := vals[f]
+			if v.isConst {
+				consts = append(consts, v.cval)
+			} else {
+				live = append(live, v.alias)
+			}
+		}
+		switch s.Type {
+		case TypeBuf:
+			vals[id] = vals[s.Fanin[0]]
+		case TypeNot:
+			v := vals[s.Fanin[0]]
+			if v.isConst {
+				vals[id] = value{isConst: true, cval: !v.cval}
+			} else {
+				needGate[id] = true
+				gates[id] = simpleGate{t: TypeNot, fanins: []SigID{v.alias}}
+				vals[id] = value{alias: id}
+			}
+		case TypeAnd, TypeNand:
+			inv := s.Type == TypeNand
+			dominated := false
+			for _, b := range consts {
+				if !b {
+					dominated = true
+				}
+			}
+			switch {
+			case dominated:
+				vals[id] = value{isConst: true, cval: inv}
+			case len(live) == 0:
+				vals[id] = value{isConst: true, cval: !inv} // empty AND = 1
+			case len(live) == 1 && !inv:
+				vals[id] = value{alias: live[0]}
+			case len(live) == 1 && inv:
+				needGate[id] = true
+				gates[id] = simpleGate{t: TypeNot, fanins: live}
+				vals[id] = value{alias: id}
+			default:
+				needGate[id] = true
+				gates[id] = simpleGate{t: s.Type, fanins: live}
+				vals[id] = value{alias: id}
+			}
+		case TypeOr, TypeNor:
+			inv := s.Type == TypeNor
+			dominated := false
+			for _, b := range consts {
+				if b {
+					dominated = true
+				}
+			}
+			switch {
+			case dominated:
+				vals[id] = value{isConst: true, cval: !inv}
+			case len(live) == 0:
+				vals[id] = value{isConst: true, cval: inv} // empty OR = 0
+			case len(live) == 1 && !inv:
+				vals[id] = value{alias: live[0]}
+			case len(live) == 1 && inv:
+				needGate[id] = true
+				gates[id] = simpleGate{t: TypeNot, fanins: live}
+				vals[id] = value{alias: id}
+			default:
+				needGate[id] = true
+				gates[id] = simpleGate{t: s.Type, fanins: live}
+				vals[id] = value{alias: id}
+			}
+		case TypeXor, TypeXnor:
+			parity := s.Type == TypeXnor
+			for _, b := range consts {
+				if b {
+					parity = !parity
+				}
+			}
+			switch {
+			case len(live) == 0:
+				vals[id] = value{isConst: true, cval: parity}
+			case len(live) == 1 && !parity:
+				vals[id] = value{alias: live[0]}
+			case len(live) == 1 && parity:
+				needGate[id] = true
+				gates[id] = simpleGate{t: TypeNot, fanins: live}
+				vals[id] = value{alias: id}
+			default:
+				t := TypeXor
+				if parity {
+					t = TypeXnor
+				}
+				needGate[id] = true
+				gates[id] = simpleGate{t: t, fanins: live}
+				vals[id] = value{alias: id}
+			}
+		default:
+			panic(fmt.Sprintf("logic: Optimize: unhandled %v", s.Type))
+		}
+	}
+
+	// Mark the cone of the outputs over materialised gates.
+	keep := make([]bool, c.NumSignals())
+	var mark func(SigID)
+	mark = func(id SigID) {
+		if keep[id] {
+			return
+		}
+		keep[id] = true
+		if needGate[id] {
+			for _, f := range gates[id].fanins {
+				mark(f)
+			}
+		}
+	}
+	for _, o := range c.Outputs() {
+		v := vals[o]
+		if !v.isConst {
+			mark(v.alias)
+		}
+	}
+
+	// Rebuild: inputs first (all preserved, so interfaces match), then
+	// surviving gates in topological order, then output stubs.
+	out := New(c.Name + "_opt")
+	for _, id := range c.Inputs() {
+		out.AddInput(c.Signal(id).Name)
+	}
+	for _, id := range c.TopoOrder() {
+		if !keep[id] || !needGate[id] {
+			continue
+		}
+		g := gates[id]
+		names := make([]string, len(g.fanins))
+		for i, f := range g.fanins {
+			names[i] = c.Signal(f).Name
+		}
+		out.AddGate(c.Signal(id).Name, g.t, names...)
+	}
+	for _, o := range c.Outputs() {
+		name := c.Signal(o).Name
+		v := vals[o]
+		switch {
+		case v.isConst && v.cval:
+			ensureGate(out, name, TypeConst1)
+		case v.isConst:
+			ensureGate(out, name, TypeConst0)
+		case v.alias != o:
+			ensureGate(out, name, TypeBuf, c.Signal(v.alias).Name)
+		}
+		// v.alias == o: the gate already carries the output name.
+		out.MarkOutput(name)
+	}
+	return out.MustFreeze()
+}
+
+// ensureGate adds the gate unless a signal with that name already exists
+// (an output whose own gate survived keeps that gate).
+func ensureGate(c *Circuit, name string, t GateType, fanins ...string) {
+	if _, exists := c.SigByName(name); exists {
+		return
+	}
+	c.AddGate(name, t, fanins...)
+}

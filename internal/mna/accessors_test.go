@@ -1,0 +1,194 @@
+package mna
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCircuitAccessors(t *testing.T) {
+	c := New("acc")
+	if c.Name() != "acc" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	c.AddV("Vin", "in", "0", 2, 1)
+	c.AddR("R1", "in", "out", 1e3)
+	c.AddC("C1", "out", "0", 1e-9)
+	c.AddL("L1", "out", "tail", 1e-3)
+	c.AddR("R2", "tail", "0", 1e3)
+	if c.NumNodes() != 3 {
+		t.Errorf("NumNodes = %d, want 3", c.NumNodes())
+	}
+	if c.NumElements() != 5 {
+		t.Errorf("NumElements = %d, want 5", c.NumElements())
+	}
+	if !c.HasElement("C1") || c.HasElement("C9") {
+		t.Error("HasElement wrong")
+	}
+	if !c.HasNode("tail") || !c.HasNode("0") || !c.HasNode("gnd") || c.HasNode("nope") {
+		t.Error("HasNode wrong")
+	}
+	if c.Kind("L1") != KindInductor || c.Kind("Vin") != KindVSource {
+		t.Error("Kind wrong")
+	}
+	c.SetValue("R1", 2e3)
+	if c.Value("R1") != 2e3 {
+		t.Error("SetValue did not apply")
+	}
+	c.SetSourceDC("Vin", 5)
+	if c.SourceDC("Vin") != 5 {
+		t.Error("SetSourceDC did not apply")
+	}
+}
+
+func TestSetSourceDCRejectsNonSource(t *testing.T) {
+	c := New("s")
+	c.AddR("R1", "a", "0", 1e3)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-source element")
+		}
+	}()
+	c.SetSourceDC("R1", 1)
+}
+
+func TestSolutionFreqAndPhase(t *testing.T) {
+	c := New("rcphase")
+	c.AddV("Vin", "in", "0", 0, 1)
+	c.AddR("R", "in", "out", 10e3)
+	c.AddC("C", "out", "0", 10e-9)
+	fc := 1 / (2 * math.Pi * 10e3 * 10e-9)
+	sol, err := c.AC(fc)
+	if err != nil {
+		t.Fatalf("AC: %v", err)
+	}
+	if sol.Freq() != fc {
+		t.Errorf("Freq = %g", sol.Freq())
+	}
+	// At the cut-off frequency the RC low-pass lags by 45°.
+	if ph := sol.PhaseDeg("out"); math.Abs(ph+45) > 1e-6 {
+		t.Errorf("phase = %g°, want -45°", ph)
+	}
+	dc, err := c.DC()
+	if err != nil {
+		t.Fatalf("DC: %v", err)
+	}
+	if dc.Freq() != 0 {
+		t.Errorf("DC Freq = %g", dc.Freq())
+	}
+}
+
+func TestElementKindStrings(t *testing.T) {
+	want := map[ElementKind]string{
+		KindResistor: "R", KindCapacitor: "C", KindInductor: "L",
+		KindVSource: "V", KindISource: "I", KindVCVS: "E", KindOpAmp: "OA",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+	if ElementKind(99).String() == "" {
+		t.Error("unknown kind must still render")
+	}
+}
+
+func TestNonPositiveCLPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New("c").AddC("C", "a", "0", 0) },
+		func() { New("l").AddL("L", "a", "0", -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestValueUnknownElementPanics(t *testing.T) {
+	c := New("v")
+	c.AddR("R", "a", "0", 1)
+	for _, fn := range []func(){
+		func() { c.Value("zz") },
+		func() { c.SetValue("zz", 1) },
+		func() { c.Perturb("zz", 0.1) },
+		func() { c.Kind("zz") },
+		func() { c.SourceDC("zz") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBranchCurrentDivider(t *testing.T) {
+	c := New("bc")
+	c.AddV("Vin", "in", "0", 10, 0)
+	c.AddR("R1", "in", "out", 1e3)
+	c.AddR("R2", "out", "0", 1e3)
+	sol, err := c.DC()
+	if err != nil {
+		t.Fatalf("DC: %v", err)
+	}
+	// 10 V across 2 kΩ → 5 mA; SPICE convention: sourcing reads −5 mA.
+	i := sol.BranchCurrent("Vin")
+	if math.Abs(real(i)+5e-3) > 1e-9 {
+		t.Errorf("I(Vin) = %v, want -5 mA", i)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("group-1 element must panic")
+		}
+	}()
+	sol.BranchCurrent("R1")
+}
+
+func TestInputImpedanceResistive(t *testing.T) {
+	c := New("zin")
+	c.AddV("Vin", "in", "0", 1, 1)
+	c.AddR("R1", "in", "out", 1e3)
+	c.AddR("R2", "out", "0", 3e3)
+	z, err := c.InputImpedance("Vin", 0)
+	if err != nil {
+		t.Fatalf("InputImpedance: %v", err)
+	}
+	if math.Abs(real(z)-4e3) > 1e-6 || math.Abs(imag(z)) > 1e-6 {
+		t.Errorf("Zin = %v, want 4 kΩ resistive", z)
+	}
+}
+
+func TestInputImpedanceRC(t *testing.T) {
+	// Series RC: Z = R − j/(ωC); at f = 1/(2πRC) the reactance equals R.
+	c := New("zrc")
+	c.AddV("Vin", "in", "0", 0, 1)
+	c.AddR("R", "in", "mid", 10e3)
+	c.AddC("C", "mid", "0", 10e-9)
+	fc := 1 / (2 * math.Pi * 10e3 * 10e-9)
+	z, err := c.InputImpedance("Vin", fc)
+	if err != nil {
+		t.Fatalf("InputImpedance: %v", err)
+	}
+	if math.Abs(real(z)-10e3) > 1 || math.Abs(imag(z)+10e3) > 1 {
+		t.Errorf("Zin = %v, want 10k − j10k", z)
+	}
+}
+
+func TestInputImpedanceErrors(t *testing.T) {
+	c := New("zerr")
+	c.AddV("Vin", "in", "0", 0, 1)
+	c.AddR("R", "in", "0", 1e3)
+	if _, err := c.InputImpedance("R", 100); err == nil {
+		t.Error("non-source must error")
+	}
+	if _, err := c.InputImpedance("Vin", 0); err == nil {
+		t.Error("inactive source at DC must error")
+	}
+}

@@ -1,0 +1,217 @@
+package mna
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Circuit is a linear analog circuit under construction or analysis.
+// The zero value is not usable; create circuits with New.
+type Circuit struct {
+	name     string
+	nodes    map[string]int // node name → index; ground is 0
+	nodeName []string       // index → canonical name
+	elems    []*element
+	byName   map[string]*element
+}
+
+// New returns an empty circuit with the given descriptive name.
+func New(name string) *Circuit {
+	c := &Circuit{
+		name:     name,
+		nodes:    map[string]int{"0": 0},
+		nodeName: []string{"0"},
+		byName:   map[string]*element{},
+	}
+	return c
+}
+
+// Name returns the circuit's descriptive name.
+func (c *Circuit) Name() string { return c.name }
+
+// NumNodes returns the number of non-ground nodes.
+func (c *Circuit) NumNodes() int { return len(c.nodeName) - 1 }
+
+// NumElements returns the number of elements.
+func (c *Circuit) NumElements() int { return len(c.elems) }
+
+// node resolves (creating if necessary) a node name to its index.
+func (c *Circuit) node(name string) int {
+	if isGround(name) {
+		return 0
+	}
+	if idx, ok := c.nodes[name]; ok {
+		return idx
+	}
+	idx := len(c.nodeName)
+	c.nodes[name] = idx
+	c.nodeName = append(c.nodeName, name)
+	return idx
+}
+
+func (c *Circuit) add(e *element) {
+	if _, dup := c.byName[e.name]; dup {
+		panic(fmt.Sprintf("mna: duplicate element name %q in circuit %q", e.name, c.name))
+	}
+	c.byName[e.name] = e
+	c.elems = append(c.elems, e)
+}
+
+// AddR adds a resistor of r ohms between nodes a and b.
+func (c *Circuit) AddR(name, a, b string, r float64) {
+	if r <= 0 {
+		panic(fmt.Sprintf("mna: resistor %q must have positive resistance, got %g", name, r))
+	}
+	c.add(&element{kind: KindResistor, name: name, value: r, a: c.node(a), b: c.node(b), branch: -1})
+}
+
+// AddC adds a capacitor of f farads between nodes a and b.
+func (c *Circuit) AddC(name, a, b string, f float64) {
+	if f <= 0 {
+		panic(fmt.Sprintf("mna: capacitor %q must have positive capacitance, got %g", name, f))
+	}
+	c.add(&element{kind: KindCapacitor, name: name, value: f, a: c.node(a), b: c.node(b), branch: -1})
+}
+
+// AddL adds an inductor of h henries between nodes a and b.
+func (c *Circuit) AddL(name, a, b string, h float64) {
+	if h <= 0 {
+		panic(fmt.Sprintf("mna: inductor %q must have positive inductance, got %g", name, h))
+	}
+	c.add(&element{kind: KindInductor, name: name, value: h, a: c.node(a), b: c.node(b), branch: -1})
+}
+
+// AddV adds an independent voltage source. In AC analysis its phasor
+// amplitude is ac volts (zero phase); in DC analysis its value is dc volts.
+func (c *Circuit) AddV(name, plus, minus string, dc, ac float64) {
+	c.add(&element{kind: KindVSource, name: name, value: ac, dc: dc, a: c.node(plus), b: c.node(minus), branch: -1})
+}
+
+// AddI adds an independent current source pushing current from node `from`
+// through the source into node `to` (conventional SPICE direction).
+func (c *Circuit) AddI(name, from, to string, dc, ac float64) {
+	c.add(&element{kind: KindISource, name: name, value: ac, dc: dc, a: c.node(from), b: c.node(to), branch: -1})
+}
+
+// AddVCVS adds a voltage-controlled voltage source:
+// V(outP) − V(outN) = gain · (V(ctrlP) − V(ctrlN)).
+func (c *Circuit) AddVCVS(name, outP, outN, ctrlP, ctrlN string, gain float64) {
+	c.add(&element{
+		kind: KindVCVS, name: name, value: gain,
+		a: c.node(outP), b: c.node(outN),
+		cp: c.node(ctrlP), cn: c.node(ctrlN), branch: -1,
+	})
+}
+
+// AddOpAmp adds an ideal operational amplifier (nullor): infinite gain,
+// infinite input impedance, zero output impedance. The solver enforces
+// V(inP) = V(inN) and lets the output node source whatever current the
+// feedback demands. The output is single-ended, referenced to ground.
+func (c *Circuit) AddOpAmp(name, inP, inN, out string) {
+	c.add(&element{
+		kind: KindOpAmp, name: name,
+		a: c.node(out), b: 0,
+		cp: c.node(inP), cn: c.node(inN), branch: -1,
+	})
+}
+
+// Value returns the primary value of the named element (R, C, L, source AC
+// amplitude, or VCVS gain). It panics if the element does not exist — a
+// programming error in experiment code, not a runtime condition.
+func (c *Circuit) Value(name string) float64 {
+	e, ok := c.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("mna: no element %q in circuit %q", name, c.name))
+	}
+	return e.value
+}
+
+// SetValue replaces the primary value of the named element.
+func (c *Circuit) SetValue(name string, v float64) {
+	e, ok := c.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("mna: no element %q in circuit %q", name, c.name))
+	}
+	e.value = v
+}
+
+// SetSourceDC replaces the DC level of an independent voltage or current
+// source (SetValue adjusts the AC amplitude instead). Used by the DAC
+// model, whose bit drivers are DC sources switched per input code.
+func (c *Circuit) SetSourceDC(name string, v float64) {
+	e, ok := c.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("mna: no element %q in circuit %q", name, c.name))
+	}
+	if e.kind != KindVSource && e.kind != KindISource {
+		panic(fmt.Sprintf("mna: element %q is not an independent source", name))
+	}
+	e.dc = v
+}
+
+// SourceDC returns the DC level of an independent source.
+func (c *Circuit) SourceDC(name string) float64 {
+	e, ok := c.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("mna: no element %q in circuit %q", name, c.name))
+	}
+	return e.dc
+}
+
+// Perturb multiplies the named element's value by (1 + delta) and returns
+// a function that restores the original value. Typical use:
+//
+//	restore := c.Perturb("R1", 0.05)
+//	defer restore()
+func (c *Circuit) Perturb(name string, delta float64) (restore func()) {
+	e, ok := c.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("mna: no element %q in circuit %q", name, c.name))
+	}
+	old := e.value
+	e.value = old * (1 + delta)
+	return func() { e.value = old }
+}
+
+// HasElement reports whether an element with the given name exists.
+func (c *Circuit) HasElement(name string) bool {
+	_, ok := c.byName[name]
+	return ok
+}
+
+// ElementNames returns the names of all elements of the given kinds,
+// sorted; with no kinds it returns every element name. This is how the
+// analog test engine enumerates the fault universe (typically resistors
+// and capacitors).
+func (c *Circuit) ElementNames(kinds ...ElementKind) []string {
+	want := map[ElementKind]bool{}
+	for _, k := range kinds {
+		want[k] = true
+	}
+	var names []string
+	for _, e := range c.elems {
+		if len(kinds) == 0 || want[e.kind] {
+			names = append(names, e.name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Kind returns the kind of the named element.
+func (c *Circuit) Kind(name string) ElementKind {
+	e, ok := c.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("mna: no element %q in circuit %q", name, c.name))
+	}
+	return e.kind
+}
+
+// HasNode reports whether the circuit references the named node.
+func (c *Circuit) HasNode(name string) bool {
+	if isGround(name) {
+		return true
+	}
+	_, ok := c.nodes[name]
+	return ok
+}

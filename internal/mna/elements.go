@@ -1,0 +1,81 @@
+// Package mna implements a small linear analog circuit simulator based on
+// Modified Nodal Analysis over the complex field.
+//
+// It supports the element set needed by the paper's case-study filters —
+// resistors, capacitors, inductors, independent voltage/current sources,
+// voltage-controlled voltage sources and ideal operational amplifiers
+// (nullor stamps) — and provides DC and AC (single-frequency phasor)
+// analyses plus frequency sweeps.
+//
+// Node names are free-form strings; "0", "gnd" and "GND" denote ground.
+// Every element has a unique name through which its primary value can be
+// read and perturbed, which is what the sensitivity engine in
+// internal/analog relies on.
+package mna
+
+import "fmt"
+
+// GroundNode names recognised as the reference node.
+func isGround(name string) bool {
+	return name == "0" || name == "gnd" || name == "GND"
+}
+
+// ElementKind enumerates the supported element types.
+type ElementKind int
+
+// Supported element kinds.
+const (
+	KindResistor ElementKind = iota
+	KindCapacitor
+	KindInductor
+	KindVSource
+	KindISource
+	KindVCVS
+	KindOpAmp
+)
+
+// String returns the SPICE-flavoured designator letter for the kind.
+func (k ElementKind) String() string {
+	switch k {
+	case KindResistor:
+		return "R"
+	case KindCapacitor:
+		return "C"
+	case KindInductor:
+		return "L"
+	case KindVSource:
+		return "V"
+	case KindISource:
+		return "I"
+	case KindVCVS:
+		return "E"
+	case KindOpAmp:
+		return "OA"
+	default:
+		return fmt.Sprintf("ElementKind(%d)", int(k))
+	}
+}
+
+// element is the internal representation of one circuit element. Node
+// fields hold resolved node indices (0 = ground). branch is the index of
+// the element's group-2 current unknown, or -1 for group-1 elements.
+type element struct {
+	kind  ElementKind
+	name  string
+	value float64 // R in Ω, C in F, L in H, source amplitude in V/A, VCVS gain
+	dc    float64 // DC offset for independent sources
+
+	a, b   int // primary terminals (+, −) or (out, —) for controlled elements
+	cp, cn int // controlling terminals (VCVS) or (in+, in−) for op-amps
+
+	branch int
+}
+
+// Stampable kinds that introduce a branch-current unknown.
+func (e *element) needsBranch() bool {
+	switch e.kind {
+	case KindInductor, KindVSource, KindVCVS, KindOpAmp:
+		return true
+	}
+	return false
+}

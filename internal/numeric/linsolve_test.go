@@ -1,0 +1,156 @@
+package numeric
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveComplexIdentity(t *testing.T) {
+	a := NewComplexMatrix(3)
+	for i := 0; i < 3; i++ {
+		a[i][i] = 1
+	}
+	b := []complex128{1 + 2i, 3, -4i}
+	x, err := SolveComplex(CloneComplexMatrix(a), append([]complex128(nil), b...))
+	if err != nil {
+		t.Fatalf("SolveComplex: %v", err)
+	}
+	for i := range b {
+		if x[i] != b[i] {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], b[i])
+		}
+	}
+}
+
+func TestSolveComplexKnownSystem(t *testing.T) {
+	// 2x + y = 5; x - y = 1  ->  x = 2, y = 1
+	a := [][]complex128{{2, 1}, {1, -1}}
+	b := []complex128{5, 1}
+	x, err := SolveComplex(a, b)
+	if err != nil {
+		t.Fatalf("SolveComplex: %v", err)
+	}
+	if cmplx.Abs(x[0]-2) > 1e-12 || cmplx.Abs(x[1]-1) > 1e-12 {
+		t.Errorf("got x = %v, want [2 1]", x)
+	}
+}
+
+func TestSolveComplexSingular(t *testing.T) {
+	a := [][]complex128{{1, 2}, {2, 4}}
+	b := []complex128{1, 2}
+	if _, err := SolveComplex(a, b); err == nil {
+		t.Fatal("expected ErrSingular for rank-deficient matrix")
+	}
+}
+
+func TestSolveComplexNeedsPivoting(t *testing.T) {
+	// Zero on the initial diagonal forces a row swap.
+	a := [][]complex128{{0, 1}, {1, 0}}
+	b := []complex128{3, 7}
+	x, err := SolveComplex(a, b)
+	if err != nil {
+		t.Fatalf("SolveComplex: %v", err)
+	}
+	if cmplx.Abs(x[0]-7) > 1e-12 || cmplx.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("got %v, want [7 3]", x)
+	}
+}
+
+func TestSolveComplexDimensionErrors(t *testing.T) {
+	if _, err := SolveComplex(nil, nil); err == nil {
+		t.Error("empty system should error")
+	}
+	if _, err := SolveComplex([][]complex128{{1}}, []complex128{1, 2}); err == nil {
+		t.Error("rhs length mismatch should error")
+	}
+	if _, err := SolveComplex([][]complex128{{1, 2}, {3}}, []complex128{1, 2}); err == nil {
+		t.Error("ragged matrix should error")
+	}
+}
+
+func TestSolveRealMatchesHandSolution(t *testing.T) {
+	a := [][]float64{{3, 2, -1}, {2, -2, 4}, {-1, 0.5, -1}}
+	b := []float64{1, -2, 0}
+	x, err := SolveReal(a, b)
+	if err != nil {
+		t.Fatalf("SolveReal: %v", err)
+	}
+	want := []float64{1, -2, -2}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-10 {
+			t.Errorf("x[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+// Property: for random well-conditioned systems, solving then multiplying
+// back recovers the right-hand side.
+func TestSolveComplexResidualProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(10)
+		a := NewComplexMatrix(n)
+		b := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a[i][j] = complex(r.NormFloat64(), r.NormFloat64())
+			}
+			// Diagonal dominance guarantees conditioning.
+			a[i][i] += complex(float64(n)*4, 0)
+			b[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		orig := CloneComplexMatrix(a)
+		borig := append([]complex128(nil), b...)
+		x, err := SolveComplex(a, b)
+		if err != nil {
+			return false
+		}
+		return ResidualNorm(orig, x, borig) < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	pts := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	if len(pts) != len(want) {
+		t.Fatalf("len = %d, want %d", len(pts), len(want))
+	}
+	for i := range want {
+		if math.Abs(pts[i]-want[i]) > 1e-15 {
+			t.Errorf("pts[%d] = %g, want %g", i, pts[i], want[i])
+		}
+	}
+	if got := Linspace(3, 9, 1); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Linspace n=1: got %v", got)
+	}
+	if got := Linspace(0, 1, 0); got != nil {
+		t.Errorf("Linspace n=0: got %v, want nil", got)
+	}
+}
+
+func TestLogspace(t *testing.T) {
+	pts := Logspace(1, 10000, 5)
+	want := []float64{1, 10, 100, 1000, 10000}
+	for i := range want {
+		if math.Abs(pts[i]/want[i]-1) > 1e-12 {
+			t.Errorf("pts[%d] = %g, want %g", i, pts[i], want[i])
+		}
+	}
+}
+
+func TestLogspacePanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-positive bound")
+		}
+	}()
+	Logspace(0, 10, 3)
+}

@@ -1,0 +1,126 @@
+package numeric
+
+import "math"
+
+// Poly is a real polynomial stored low-degree-first: Poly{c0, c1, c2}
+// represents c0 + c1·x + c2·x².
+type Poly []float64
+
+// Eval evaluates the polynomial at x using Horner's rule.
+func (p Poly) Eval(x float64) float64 {
+	var acc float64
+	for i := len(p) - 1; i >= 0; i-- {
+		acc = acc*x + p[i]
+	}
+	return acc
+}
+
+// EvalComplex evaluates the polynomial at the complex point s. This is the
+// workhorse for evaluating transfer-function numerators/denominators at jω.
+func (p Poly) EvalComplex(s complex128) complex128 {
+	var acc complex128
+	for i := len(p) - 1; i >= 0; i-- {
+		acc = acc*s + complex(p[i], 0)
+	}
+	return acc
+}
+
+// Derivative returns p'.
+func (p Poly) Derivative() Poly {
+	if len(p) <= 1 {
+		return Poly{0}
+	}
+	d := make(Poly, len(p)-1)
+	for i := 1; i < len(p); i++ {
+		d[i-1] = float64(i) * p[i]
+	}
+	return d
+}
+
+// Degree returns the degree of p ignoring trailing zero coefficients.
+func (p Poly) Degree() int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] != 0 {
+			return i
+		}
+	}
+	return 0
+}
+
+// Mul returns the product p·q.
+func (p Poly) Mul(q Poly) Poly {
+	if len(p) == 0 || len(q) == 0 {
+		return Poly{}
+	}
+	out := make(Poly, len(p)+len(q)-1)
+	for i, a := range p {
+		if a == 0 {
+			continue
+		}
+		for j, b := range q {
+			out[i+j] += a * b
+		}
+	}
+	return out
+}
+
+// Add returns p+q.
+func (p Poly) Add(q Poly) Poly {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	out := make(Poly, n)
+	copy(out, p)
+	for i, b := range q {
+		out[i] += b
+	}
+	return out
+}
+
+// Scale returns k·p.
+func (p Poly) Scale(k float64) Poly {
+	out := make(Poly, len(p))
+	for i, c := range p {
+		out[i] = k * c
+	}
+	return out
+}
+
+// ChebyshevPoles returns the s-plane pole locations of an n-th order type-I
+// Chebyshev low-pass prototype with the given passband ripple in dB and
+// unit ripple cut-off frequency. Poles are returned as complex numbers in
+// the left half plane. Used by the circuit library to pick component values
+// for the fifth-order Chebyshev case study.
+func ChebyshevPoles(n int, rippleDB float64) []complex128 {
+	if n <= 0 {
+		return nil
+	}
+	eps := math.Sqrt(math.Pow(10, rippleDB/10) - 1)
+	mu := math.Asinh(1/eps) / float64(n)
+	poles := make([]complex128, 0, n)
+	for k := 1; k <= n; k++ {
+		theta := math.Pi * (2*float64(k) - 1) / (2 * float64(n))
+		re := -math.Sinh(mu) * math.Sin(theta)
+		im := math.Cosh(mu) * math.Cos(theta)
+		poles = append(poles, complex(re, im))
+	}
+	return poles
+}
+
+// Db converts a linear magnitude to decibels.
+func Db(mag float64) float64 { return 20 * math.Log10(mag) }
+
+// FromDb converts decibels to a linear magnitude.
+func FromDb(db float64) float64 { return math.Pow(10, db/20) }
+
+// ApproxEqual reports whether a and b agree to within relative tolerance
+// rel (or absolute tolerance rel when either side is near zero).
+func ApproxEqual(a, b, rel float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return diff <= rel*scale
+}

@@ -1,0 +1,167 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoBracket is returned when a root finder is handed an interval whose
+// endpoints do not straddle a sign change.
+var ErrNoBracket = errors.New("numeric: interval does not bracket a root")
+
+// ErrNoConverge is returned when an iterative method exhausts its iteration
+// budget without meeting its tolerance.
+var ErrNoConverge = errors.New("numeric: iteration did not converge")
+
+// Bisect finds a root of f in [lo, hi] to within tol using bisection.
+// f(lo) and f(hi) must have opposite signs (zero endpoints are accepted).
+func Bisect(f func(float64) float64, lo, hi, tol float64) (float64, error) {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if math.Signbit(flo) == math.Signbit(fhi) {
+		return 0, ErrNoBracket
+	}
+	for i := 0; i < 200; i++ {
+		mid := lo + (hi-lo)/2
+		fm := f(mid)
+		if fm == 0 || hi-lo < tol {
+			return mid, nil
+		}
+		if math.Signbit(fm) == math.Signbit(flo) {
+			lo, flo = mid, fm
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2, nil
+}
+
+// Brent finds a root of f in [lo, hi] using Brent's method (inverse
+// quadratic interpolation with bisection fallback). It converges much
+// faster than plain bisection on the smooth deviation curves produced by
+// the analog sensitivity engine.
+func Brent(f func(float64) float64, lo, hi, tol float64) (float64, error) {
+	a, b := lo, hi
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, ErrNoBracket
+	}
+	if math.Abs(fa) < math.Abs(fb) {
+		a, b = b, a
+		fa, fb = fb, fa
+	}
+	c, fc := a, fa
+	mflag := true
+	var d float64
+	for i := 0; i < 200; i++ {
+		if fb == 0 || math.Abs(b-a) < tol {
+			return b, nil
+		}
+		var s float64
+		if fa != fc && fb != fc {
+			// Inverse quadratic interpolation.
+			s = a*fb*fc/((fa-fb)*(fa-fc)) +
+				b*fa*fc/((fb-fa)*(fb-fc)) +
+				c*fa*fb/((fc-fa)*(fc-fb))
+		} else {
+			// Secant.
+			s = b - fb*(b-a)/(fb-fa)
+		}
+		lo34 := (3*a + b) / 4
+		cond := (s < math.Min(lo34, b) || s > math.Max(lo34, b)) ||
+			(mflag && math.Abs(s-b) >= math.Abs(b-c)/2) ||
+			(!mflag && math.Abs(s-b) >= math.Abs(c-d)/2) ||
+			(mflag && math.Abs(b-c) < tol) ||
+			(!mflag && math.Abs(c-d) < tol)
+		if cond {
+			s = (a + b) / 2
+			mflag = true
+		} else {
+			mflag = false
+		}
+		fs := f(s)
+		d, c, fc = c, b, fb
+		if math.Signbit(fa) != math.Signbit(fs) {
+			b, fb = s, fs
+		} else {
+			a, fa = s, fs
+		}
+		if math.Abs(fa) < math.Abs(fb) {
+			a, b = b, a
+			fa, fb = fb, fa
+		}
+	}
+	return b, ErrNoConverge
+}
+
+// GoldenMax finds the argument in [lo, hi] that maximises the unimodal
+// function f, to within tol, using golden-section search. Used to locate a
+// filter's center frequency (gain peak) on a log-frequency axis.
+func GoldenMax(f func(float64) float64, lo, hi, tol float64) (x, fx float64) {
+	const invPhi = 0.6180339887498949 // 1/φ
+	a, b := lo, hi
+	c := b - (b-a)*invPhi
+	d := a + (b-a)*invPhi
+	fc, fd := f(c), f(d)
+	for math.Abs(b-a) > tol {
+		if fc > fd {
+			b, d, fd = d, c, fc
+			c = b - (b-a)*invPhi
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + (b-a)*invPhi
+			fd = f(d)
+		}
+	}
+	x = (a + b) / 2
+	return x, f(x)
+}
+
+// ExpandBracket grows the interval [lo, hi] geometrically around hi until
+// f changes sign relative to f(lo) or the limit is reached. Returns the
+// bracketing interval. Used to bracket worst-case deviation crossings whose
+// location can range from a few percent to several hundred percent.
+func ExpandBracket(f func(float64) float64, lo, hi, limit float64) (a, b float64, err error) {
+	fa := f(lo)
+	if fa == 0 {
+		return lo, lo, nil
+	}
+	step := hi - lo
+	if step <= 0 {
+		return 0, 0, errors.New("numeric: ExpandBracket requires hi > lo")
+	}
+	a, b = lo, hi
+	for i := 0; i < 80; i++ {
+		fb := f(b)
+		if fb == 0 || math.Signbit(fa) != math.Signbit(fb) {
+			return a, b, nil
+		}
+		a = b
+		step *= 1.6
+		b += step
+		if b > limit {
+			b = limit
+			fb = f(b)
+			if math.Signbit(fa) != math.Signbit(fb) {
+				return a, b, nil
+			}
+			return 0, 0, ErrNoBracket
+		}
+	}
+	return 0, 0, ErrNoBracket
+}

@@ -1,0 +1,76 @@
+package waveform
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"repro/internal/mna"
+	"repro/internal/numeric"
+)
+
+// StepResponse computes the unit-step response of the circuit's transfer
+// to the named output by frequency sampling: the transfer function is
+// evaluated at n points over a window of length window seconds, converted
+// to an impulse response with an inverse FFT, and integrated. n must be a
+// power of two; the window should comfortably exceed the circuit's
+// settling time (aliasing wraps whatever has not decayed).
+//
+// The returned slice holds s(t_m) at t_m = m·window/n. This gives the
+// mixed-signal bench a time-domain view — e.g. how long after an input
+// step the comparator outputs are valid — complementing the steady-state
+// phasor analysis used everywhere else.
+func StepResponse(c *mna.Circuit, out string, window float64, n int) ([]float64, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("waveform: n = %d must be a power of two ≥ 2", n)
+	}
+	if window <= 0 {
+		return nil, fmt.Errorf("waveform: window must be positive, got %g", window)
+	}
+	// Sample H at f_k = k/window for k = 0..n/2, then mirror with
+	// conjugate symmetry so the impulse response comes out real.
+	spec := make([]complex128, n)
+	for k := 0; k <= n/2; k++ {
+		f := float64(k) / window
+		h, err := c.Gain(out, f)
+		if err != nil {
+			return nil, err
+		}
+		spec[k] = h
+		if k != 0 && k != n/2 {
+			spec[n-k] = cmplx.Conj(h)
+		}
+	}
+	numeric.IFFT(spec)
+	// spec now holds h_m = h(t_m)·dt; the step response is its running
+	// sum (convolution with the unit step).
+	s := make([]float64, n)
+	acc := 0.0
+	for m := 0; m < n; m++ {
+		acc += real(spec[m])
+		s[m] = acc
+	}
+	return s, nil
+}
+
+// SettlingTime returns the first time after which the step response stays
+// within ±band of its final value, using the last sample as the final
+// value. Returns the window end when the response never settles.
+func SettlingTime(step []float64, window, band float64) float64 {
+	if len(step) == 0 {
+		return 0
+	}
+	final := step[len(step)-1]
+	dt := window / float64(len(step))
+	settled := len(step) - 1
+	for m := len(step) - 1; m >= 0; m-- {
+		d := step[m] - final
+		if d < 0 {
+			d = -d
+		}
+		if d > band {
+			break
+		}
+		settled = m
+	}
+	return float64(settled) * dt
+}

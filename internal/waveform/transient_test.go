@@ -1,0 +1,116 @@
+package waveform
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/numeric"
+)
+
+func TestStepResponseRCMatchesAnalytic(t *testing.T) {
+	c := rcCircuit() // R = 10k, C = 10n → τ = 100 µs
+	tau := 10e3 * 10e-9
+	window := 20 * tau
+	const n = 2048
+	s, err := StepResponse(c, "out", window, n)
+	if err != nil {
+		t.Fatalf("StepResponse: %v", err)
+	}
+	dt := window / float64(n)
+	// Compare against 1 − e^(−t/τ) away from the initial transient bin.
+	for m := 16; m < n/2; m += 37 {
+		tt := float64(m) * dt
+		want := 1 - math.Exp(-tt/tau)
+		if math.Abs(s[m]-want) > 0.02 {
+			t.Fatalf("s(%.3g) = %.4f, want %.4f", tt, s[m], want)
+		}
+	}
+	// Final value ≈ DC gain = 1.
+	if math.Abs(s[n-1]-1) > 0.01 {
+		t.Errorf("final value = %.4f, want 1", s[n-1])
+	}
+}
+
+func TestStepResponseValidation(t *testing.T) {
+	c := rcCircuit()
+	if _, err := StepResponse(c, "out", 1e-3, 1000); err == nil {
+		t.Error("non-power-of-two n must error")
+	}
+	if _, err := StepResponse(c, "out", -1, 1024); err == nil {
+		t.Error("negative window must error")
+	}
+}
+
+func TestSettlingTimeRC(t *testing.T) {
+	c := rcCircuit()
+	tau := 10e3 * 10e-9
+	window := 20 * tau
+	s, err := StepResponse(c, "out", window, 2048)
+	if err != nil {
+		t.Fatalf("StepResponse: %v", err)
+	}
+	// 1% settling of a single pole: t = τ·ln(100) ≈ 4.6·τ.
+	ts := SettlingTime(s, window, 0.01)
+	if !numeric.ApproxEqual(ts/tau, math.Log(100), 0.15) {
+		t.Errorf("settling time = %.2f·τ, want ≈4.6·τ", ts/tau)
+	}
+	if got := SettlingTime(nil, 1, 0.01); got != 0 {
+		t.Errorf("empty response settling = %g", got)
+	}
+}
+
+func TestFFTRoundTripAndParseval(t *testing.T) {
+	// Exercise numeric.FFT directly from its main consumer's tests.
+	x := make([]complex128, 64)
+	for i := range x {
+		x[i] = complex(math.Sin(float64(i)*0.3), math.Cos(float64(i)*0.7))
+	}
+	orig := append([]complex128(nil), x...)
+	numeric.FFT(x)
+	// Parseval: Σ|x|² = (1/n)·Σ|X|².
+	var sumT, sumF float64
+	for i := range orig {
+		sumT += real(orig[i])*real(orig[i]) + imag(orig[i])*imag(orig[i])
+		sumF += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+	}
+	if !numeric.ApproxEqual(sumT, sumF/64, 1e-9) {
+		t.Errorf("Parseval violated: %g vs %g", sumT, sumF/64)
+	}
+	numeric.IFFT(x)
+	for i := range orig {
+		if math.Abs(real(x[i])-real(orig[i])) > 1e-12 ||
+			math.Abs(imag(x[i])-imag(orig[i])) > 1e-12 {
+			t.Fatalf("round trip differs at %d", i)
+		}
+	}
+}
+
+func TestFFTKnownSpectrum(t *testing.T) {
+	// A pure complex exponential concentrates in one bin.
+	const n = 32
+	x := make([]complex128, n)
+	for i := range x {
+		theta := 2 * math.Pi * 3 * float64(i) / n
+		x[i] = complex(math.Cos(theta), math.Sin(theta))
+	}
+	numeric.FFT(x)
+	for k := range x {
+		mag := math.Hypot(real(x[k]), imag(x[k]))
+		if k == 3 {
+			if !numeric.ApproxEqual(mag, n, 1e-9) {
+				t.Errorf("bin 3 = %g, want %d", mag, n)
+			}
+		} else if mag > 1e-9 {
+			t.Errorf("bin %d = %g, want 0", k, mag)
+		}
+	}
+}
+
+func TestFFTPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-power-of-two length")
+		}
+	}()
+	numeric.FFT(make([]complex128, 12))
+}

@@ -1,0 +1,178 @@
+// Package waveform models the analog stimulus side of the paper's fault
+// activation (§2.3): sine/DC stimuli applied at the analog primary input,
+// steady-state responses through a linear circuit, and the classification
+// of a comparator output into the composite logic values {0, 1, D, D̄}
+// by comparing the fault-free and faulty responses against the
+// comparator's reference voltage.
+package waveform
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/mna"
+)
+
+// StimKind discriminates stimulus shapes.
+type StimKind int
+
+// Stimulus kinds.
+const (
+	DC StimKind = iota
+	Sine
+)
+
+// Stimulus is the analog input signal: a DC level or a sine
+// B·sin(2πft) as in the paper's Table 1.
+type Stimulus struct {
+	Kind      StimKind
+	Amplitude float64 // peak amplitude (sine) or level (DC), volts
+	Freq      float64 // hertz; ignored for DC
+}
+
+// String renders the stimulus in the paper's (A, f) style.
+func (s Stimulus) String() string {
+	if s.Kind == DC {
+		return fmt.Sprintf("DC %.4g V", s.Amplitude)
+	}
+	return fmt.Sprintf("sine %.4g V @ %.4g Hz", s.Amplitude, s.Freq)
+}
+
+// ResponseAmplitude returns the steady-state peak amplitude of the named
+// output when the circuit is driven by the stimulus: |H(f)|·A for a sine,
+// |H(0)·A| for DC. The circuit's single source is used as the input.
+func ResponseAmplitude(c *mna.Circuit, out string, s Stimulus) (float64, error) {
+	f := s.Freq
+	if s.Kind == DC {
+		f = 0
+	}
+	g, err := c.GainMag(out, f)
+	if err != nil {
+		return 0, err
+	}
+	return g * math.Abs(s.Amplitude), nil
+}
+
+// ResponsePhasor returns the complex steady-state output phasor for a
+// unit-phase input of the stimulus amplitude.
+func ResponsePhasor(c *mna.Circuit, out string, s Stimulus) (complex128, error) {
+	f := s.Freq
+	if s.Kind == DC {
+		f = 0
+	}
+	g, err := c.Gain(out, f)
+	if err != nil {
+		return 0, err
+	}
+	return g * complex(s.Amplitude, 0), nil
+}
+
+// Composite is the paper's five-valued test algebra restricted to the
+// four values a comparator can take when comparing a fault-free and a
+// faulty circuit (a boolean-function-valued line is handled by the BDD
+// layer).
+type Composite int
+
+// Composite values. D means "1 in the fault-free circuit, 0 in the faulty
+// one"; DBar the reverse.
+const (
+	Zero Composite = iota
+	One
+	D
+	DBar
+)
+
+// String renders the value in the paper's notation.
+func (v Composite) String() string {
+	switch v {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	case D:
+		return "D"
+	case DBar:
+		return "D̄"
+	default:
+		return fmt.Sprintf("Composite(%d)", int(v))
+	}
+}
+
+// IsComposite reports whether the value carries fault information.
+func (v Composite) IsComposite() bool { return v == D || v == DBar }
+
+// GoodValue returns the logic value in the fault-free circuit.
+func (v Composite) GoodValue() bool { return v == One || v == D }
+
+// FaultyValue returns the logic value in the faulty circuit.
+func (v Composite) FaultyValue() bool { return v == One || v == DBar }
+
+// Classify compares the fault-free and faulty response amplitudes against
+// a comparator threshold and returns the comparator's composite output.
+// The comparator asserts when the response amplitude exceeds vref — the
+// paper's "Va > Vref" test on the peak of the applied sine.
+func Classify(good, faulty, vref float64) Composite {
+	g := good > vref
+	f := faulty > vref
+	switch {
+	case g && f:
+		return One
+	case !g && !f:
+		return Zero
+	case g && !f:
+		return D
+	default:
+		return DBar
+	}
+}
+
+// DutyAbove returns the fraction of a sine period during which the
+// steady-state output exceeds the threshold — the paper's "period of time
+// Tp" in which composite values appear. For a DC stimulus the result is 0
+// or 1.
+func DutyAbove(c *mna.Circuit, out string, s Stimulus, vref float64) (float64, error) {
+	if s.Kind == DC {
+		amp, err := ResponseAmplitude(c, out, s)
+		if err != nil {
+			return 0, err
+		}
+		if amp > vref {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	ph, err := ResponsePhasor(c, out, s)
+	if err != nil {
+		return 0, err
+	}
+	peak := cmplx.Abs(ph)
+	if peak <= vref {
+		return 0, nil
+	}
+	if vref <= -peak {
+		return 1, nil
+	}
+	// v(t) = peak·sin(θ): above vref for θ ∈ (asin(vref/peak), π−asin(…)).
+	a := math.Asin(vref / peak)
+	return (math.Pi - 2*a) / (2 * math.Pi), nil
+}
+
+// SampleSine returns n uniformly spaced samples of one steady-state
+// output period for a sine stimulus, for plotting and tests.
+func SampleSine(c *mna.Circuit, out string, s Stimulus, n int) ([]float64, error) {
+	if s.Kind != Sine {
+		return nil, fmt.Errorf("waveform: SampleSine needs a sine stimulus, got %v", s)
+	}
+	ph, err := ResponsePhasor(c, out, s)
+	if err != nil {
+		return nil, err
+	}
+	mag, phase := cmplx.Abs(ph), cmplx.Phase(ph)
+	out2 := make([]float64, n)
+	for i := range out2 {
+		theta := 2 * math.Pi * float64(i) / float64(n)
+		out2[i] = mag * math.Sin(theta+phase)
+	}
+	return out2, nil
+}
