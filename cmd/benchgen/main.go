@@ -1,10 +1,13 @@
 // Command benchgen emits the generated benchmark netlists in ISCAS
-// ".bench" format, for inspection or for use with external tools.
+// ".bench" format, for inspection or for use with external tools, and
+// records instrumented ATPG benchmark results for perf tracking.
 //
 // Usage:
 //
 //	benchgen -name c432            # one netlist to stdout
 //	benchgen -all -dir ./netlists  # every benchmark into a directory
+//	benchgen -obs BENCH_obs.json   # timed ATPG per benchmark + obs snapshot stats
+//	benchgen -obs - -name c880     # one circuit's results to stdout
 package main
 
 import (
@@ -21,8 +24,16 @@ func main() {
 	name := flag.String("name", "", "benchmark to emit (c432, c499, c880, c1355, c1908, fig3, adder283)")
 	all := flag.Bool("all", false, "emit every benchmark")
 	dir := flag.String("dir", ".", "output directory when -all is used")
+	obsOut := flag.String("obs", "", "run instrumented ATPG and write bench results + obs stats (e.g. cache hit rate, peak nodes, vectors/sec) to this JSON file, or - for stdout")
 	flag.Parse()
 
+	if *obsOut != "" {
+		if err := emitObs(*obsOut, *name); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *all {
 		if err := emitAll(*dir); err != nil {
 			fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)

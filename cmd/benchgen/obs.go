@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/adc"
+	"repro/internal/atpg"
+	"repro/internal/experiments"
+	"repro/internal/faults"
+	"repro/internal/iscas"
+	"repro/internal/obs"
+)
+
+// obsCircuits is the default -obs workload: the Table 4 benchmark set.
+var obsCircuits = []string{"c432", "c499", "c880", "c1355", "c1908"}
+
+// BenchRun is one timed ATPG configuration (free or constrained) with
+// the headline obs figures future PRs diff against.
+type BenchRun struct {
+	CPUNs         int64   `json:"cpu_ns"`
+	Vectors       int     `json:"vectors"`
+	Untestable    int     `json:"untestable"`
+	VectorsPerSec float64 `json:"vectors_per_sec"`
+	ITEHitRate    float64 `json:"ite_hit_rate"`
+	UniqueHitRate float64 `json:"unique_hit_rate"`
+	PeakNodes     int64   `json:"peak_nodes"`
+	NodesAlloc    int64   `json:"nodes_alloc"`
+	FaultP50Ns    float64 `json:"fault_p50_ns"`
+	FaultP99Ns    float64 `json:"fault_p99_ns"`
+	// Snapshot is the run's full obs snapshot, for drill-down.
+	Snapshot *obs.Snapshot `json:"snapshot"`
+}
+
+// BenchCircuit is the per-circuit record of a -obs run.
+type BenchCircuit struct {
+	Circuit     string    `json:"circuit"`
+	Faults      int       `json:"faults"`
+	Free        *BenchRun `json:"free"`
+	Constrained *BenchRun `json:"constrained"`
+}
+
+// BenchReport is the top-level BENCH_obs.json document.
+type BenchReport struct {
+	GeneratedAt time.Time      `json:"generated_at"`
+	GoVersion   string         `json:"go_version,omitempty"`
+	Circuits    []BenchCircuit `json:"circuits"`
+}
+
+func benchRun(res *atpg.Result) *BenchRun {
+	r := &BenchRun{
+		CPUNs:      res.CPU.Nanoseconds(),
+		Vectors:    len(res.Vectors),
+		Untestable: len(res.Untestable),
+		Snapshot:   res.Stats,
+	}
+	if secs := res.CPU.Seconds(); secs > 0 {
+		r.VectorsPerSec = float64(len(res.Vectors)) / secs
+	}
+	if s := res.Stats; s != nil {
+		r.ITEHitRate = s.Derived["bdd.ite.hit_rate"]
+		r.UniqueHitRate = s.Derived["bdd.unique.hit_rate"]
+		r.PeakNodes = s.Gauges["bdd.nodes.peak"]
+		r.NodesAlloc = s.Counters["bdd.nodes.alloc"]
+		if h, ok := s.Histograms["atpg.fault.latency_ns"]; ok {
+			r.FaultP50Ns = h.Quantile(0.5)
+			r.FaultP99Ns = h.Quantile(0.99)
+		}
+	}
+	return r
+}
+
+// emitObs runs free and constrained ATPG on each benchmark circuit, each
+// under a fresh collector so the embedded snapshots are per-configuration,
+// and writes the report as JSON.
+func emitObs(path, only string) error {
+	names := obsCircuits
+	if only != "" {
+		names = []string{only}
+	}
+	report := BenchReport{GeneratedAt: time.Now()}
+	for _, name := range names {
+		c, err := iscas.Benchmark(name)
+		if err != nil {
+			return err
+		}
+		fs := faults.Collapse(c)
+		rec := BenchCircuit{Circuit: name, Faults: len(fs)}
+
+		gFree, err := atpg.New(c, atpg.WithCollector(obs.NewCollector()))
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		rec.Free = benchRun(gFree.Run(fs))
+
+		gCons, err := atpg.New(c, atpg.WithCollector(obs.NewCollector()))
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		flash := adc.NewFlash(experiments.ComparatorCount, 0, float64(experiments.ComparatorCount+1))
+		gCons.SetConstraint(flash.ConstraintBDD(gCons.Manager(), experiments.BoundInputs(c, name)))
+		rec.Constrained = benchRun(gCons.Run(fs))
+
+		report.Circuits = append(report.Circuits, rec)
+		fmt.Fprintf(os.Stderr, "benchgen: %s — free %d vec in %v (ITE hit %.1f%%), constrained %d vec in %v (ITE hit %.1f%%)\n",
+			name, rec.Free.Vectors, time.Duration(rec.Free.CPUNs).Round(time.Millisecond), 100*rec.Free.ITEHitRate,
+			rec.Constrained.Vectors, time.Duration(rec.Constrained.CPUNs).Round(time.Millisecond), 100*rec.Constrained.ITEHitRate)
+	}
+
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

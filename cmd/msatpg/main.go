@@ -8,11 +8,25 @@
 //	msatpg                       # Figure 4 vehicle (band-pass + Fig 3)
 //	msatpg -circuit chebyshev -digital c880
 //	msatpg -circuit chebyshev -digital c1908 -v
+//
+// Observability:
+//
+//	msatpg -stats -              # JSON obs snapshot on exit (to stdout)
+//	msatpg -stats run.json       # ... or to a file
+//	msatpg -trace-out spans.jsonl  # span log, one JSON record per line
+//	msatpg -pprof localhost:6060   # serve net/http/pprof + /debug/vars
+//
+// The snapshot carries the whole pipeline's metrics (BDD cache hit
+// rates, peak nodes, per-fault ATPG latency histogram, analog solve
+// counts) and the per-phase spans of the analog → conversion → digital
+// flow; the metric inventory is documented in the README.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"repro/internal/adc"
@@ -23,6 +37,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/iscas"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -30,12 +45,77 @@ func main() {
 	digital := flag.String("digital", "", "digital block: fig3 (default for bandpass) | c432 | c499 | c880 | c1355 | c1908")
 	verbose := flag.Bool("v", false, "print per-element details")
 	program := flag.Bool("program", false, "compile and print the complete test program instead of the summary")
+	stats := flag.String("stats", "", "write the obs JSON snapshot on exit to this file, or - for stdout")
+	traceOut := flag.String("trace-out", "", "write the span log (JSON lines) on exit to this file, or - for stdout")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar (obs counters) on this address, e.g. localhost:6060")
 	flag.Parse()
 
-	if err := run(*circuit, *digital, *verbose, *program); err != nil {
+	if *pprofAddr != "" {
+		obs.PublishExpvar("obs", obs.Default)
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "msatpg: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "msatpg: profiling on http://%s/debug/pprof/ (obs counters at /debug/vars)\n", *pprofAddr)
+	}
+
+	err := run(*circuit, *digital, *verbose, *program)
+	if werr := writeObs(*stats, *traceOut); err == nil {
+		err = werr
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "msatpg: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// writeObs dumps the process snapshot and/or span log per the -stats and
+// -trace-out flags. It runs even when the flow failed, so a crash still
+// leaves the metrics behind.
+func writeObs(stats, traceOut string) error {
+	if stats == "" && traceOut == "" {
+		return nil
+	}
+	snap := obs.Default.Snapshot()
+	if stats != "" {
+		w, closeFn, err := outFile(stats)
+		if err != nil {
+			return err
+		}
+		err = snap.WriteJSON(w)
+		if cerr := closeFn(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing -stats: %w", err)
+		}
+	}
+	if traceOut != "" {
+		w, closeFn, err := outFile(traceOut)
+		if err != nil {
+			return err
+		}
+		err = snap.WriteSpanLog(w)
+		if cerr := closeFn(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing -trace-out: %w", err)
+		}
+	}
+	return nil
+}
+
+func outFile(path string) (*os.File, func() error, error) {
+	if path == "-" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
 }
 
 func run(circuit, digital string, verbose, program bool) error {
@@ -94,6 +174,7 @@ func run(circuit, digital string, verbose, program bool) error {
 	}
 
 	// 1. Analog element tests through the digital block.
+	analogSpan := obs.Default.StartSpan("phase.analog")
 	fmt.Println("\n-- analog element tests (activation + D propagation) --")
 	matrix, err := analog.BuildMatrix(mx.Analog, elements, params, analog.DefaultEDOptions())
 	if err != nil {
@@ -121,8 +202,10 @@ func run(circuit, digital string, verbose, program bool) error {
 		}
 	}
 	fmt.Printf("  %d/%d elements testable through the mixed circuit\n", testable, len(elements))
+	analogSpan.End()
 
 	// 2. Conversion-block coverage.
+	convSpan := obs.Default.StartSpan("phase.conversion")
 	census, err := mx.CensusPropagation(prop)
 	if err != nil {
 		return err
@@ -135,8 +218,10 @@ func run(circuit, digital string, verbose, program bool) error {
 		fmt.Printf("R%d=%s ", i+1, fmtPct(ed))
 	}
 	fmt.Println()
+	convSpan.End()
 
 	// 3. Constrained digital stuck-at ATPG.
+	digitalSpan := obs.Default.StartSpan("phase.digital")
 	fmt.Println("\n-- digital stuck-at ATPG under the conversion constraints --")
 	gen, err := atpg.New(mx.Digital)
 	if err != nil {
@@ -158,6 +243,7 @@ func run(circuit, digital string, verbose, program bool) error {
 			fmt.Printf("  vector %2d: %s\n", i+1, v)
 		}
 	}
+	digitalSpan.End()
 	return nil
 }
 

@@ -13,6 +13,12 @@
 // propagated through the digital block as composite values D/D̄ with D as
 // the last OBDD variable.
 //
+// The whole pipeline is instrumented through internal/obs (atomic
+// counters, gauges, histograms and spans on the standard library only):
+// cmd/msatpg exposes the metrics via -stats, -trace-out and -pprof,
+// cmd/benchgen records them per benchmark with -obs, and atpg.Result
+// carries a per-run snapshot in its Stats field.
+//
 // See README.md for the layout, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 // The benchmarks in bench_test.go regenerate every table and figure of

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/mna"
+	"repro/internal/obs"
 )
 
 // Matrix is the element↔parameter worst-case deviation table of
@@ -20,6 +21,7 @@ type Matrix struct {
 // BuildMatrix computes the full worst-case deviation matrix for the
 // given elements and parameters.
 func BuildMatrix(c *mna.Circuit, elements []string, params []Parameter, opt EDOptions) (*Matrix, error) {
+	defer obs.Default.StartSpan("analog.build_matrix").End()
 	m := &Matrix{
 		Elements: append([]string(nil), elements...),
 		Params:   append([]Parameter(nil), params...),

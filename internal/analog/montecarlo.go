@@ -6,6 +6,14 @@ import (
 	"math/rand"
 
 	"repro/internal/mna"
+	"repro/internal/obs"
+)
+
+// Monte Carlo instrumentation: one "run" per MonteCarlo call, one
+// "sample" per perturbed-circuit evaluation of the full parameter list.
+var (
+	cMCRuns    = obs.Default.Counter("analog.mc.runs")
+	cMCSamples = obs.Default.Counter("analog.mc.samples")
 )
 
 // MCResult summarises a Monte Carlo tolerance run for one parameter: the
@@ -44,6 +52,10 @@ func MonteCarlo(c *mna.Circuit, elements []string, params []Parameter, elemTol f
 		}
 		nominal[p.Name()] = v
 	}
+
+	defer obs.Default.StartSpan("analog.monte_carlo").End()
+	cMCRuns.Inc()
+	cMCSamples.Add(int64(n))
 
 	rng := rand.New(rand.NewSource(seed))
 	results := make([]MCResult, len(params))

@@ -6,6 +6,15 @@ import (
 
 	"repro/internal/mna"
 	"repro/internal/numeric"
+	"repro/internal/obs"
+)
+
+// ED-search instrumentation: solves counts WorstCaseED calls, evals the
+// deviation-curve evaluations spent bracketing and running Brent — the
+// convergence-iteration figure of the ED engine.
+var (
+	cEDSolves = obs.Default.Counter("analog.ed.solves")
+	cEDEvals  = obs.Default.Counter("analog.ed.evals")
 )
 
 // ParamDeviation returns the relative deviation (T(δ) − T₀)/T₀ of the
@@ -79,6 +88,7 @@ func Unobservable(ed float64) bool { return math.IsInf(ed, 1) }
 // elements contributing masking. The result is a fraction (0.099 = 9.9%);
 // +Inf when no deviation up to MaxDev is observable.
 func WorstCaseED(c *mna.Circuit, elem string, p Parameter, others []string, opt EDOptions) (float64, error) {
+	cEDSolves.Inc()
 	// Worst-case masking slack: sum of |S_e| · tol_e over fault-free
 	// elements (first-order, as in the sensitivity-based method of [8]).
 	slack := 0.0
@@ -114,6 +124,7 @@ func WorstCaseED(c *mna.Circuit, elem string, p Parameter, others []string, opt 
 func smallestCrossing(c *mna.Circuit, elem string, p Parameter, sign, threshold, maxDev float64) (float64, error) {
 	var measureErr error
 	g := func(mag float64) float64 {
+		cEDEvals.Inc()
 		dev, err := ParamDeviation(c, elem, p, sign*mag)
 		if err != nil {
 			if measureErr == nil {

@@ -20,6 +20,7 @@ import (
 	"repro/internal/bdd"
 	"repro/internal/faults"
 	"repro/internal/logic"
+	"repro/internal/obs"
 )
 
 // Generator holds the OBDDs of one circuit and generates constrained test
@@ -30,20 +31,30 @@ type Generator struct {
 	good       []bdd.Ref // per-signal good-circuit function over PI variables
 	constraint bdd.Ref
 	inputNames []string
+	col        *obs.Collector
 }
 
 // Option configures a Generator.
 type Option func(*config)
 
 type config struct {
-	nodeLimit int
-	varOrder  []string
+	nodeLimit    int
+	varOrder     []string
+	collector    *obs.Collector
+	collectorSet bool
 }
 
 // WithNodeLimit caps the BDD manager size; faults whose cone exceeds the
 // limit are reported as aborted rather than crashing the run.
 func WithNodeLimit(n int) Option {
 	return func(c *config) { c.nodeLimit = n }
+}
+
+// WithCollector directs this generator's instrumentation (BDD cache
+// counters, per-fault latencies, run spans) at the given collector
+// instead of obs.Default. Pass nil to disable instrumentation entirely.
+func WithCollector(col *obs.Collector) Option {
+	return func(c *config) { c.collector = col; c.collectorSet = true }
 }
 
 // New builds the good-circuit OBDDs for a frozen circuit. Primary inputs
@@ -55,6 +66,9 @@ func New(c *logic.Circuit, opts ...Option) (*Generator, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if !cfg.collectorSet {
+		cfg.collector = obs.Default
+	}
 	if !c.Frozen() {
 		return nil, fmt.Errorf("atpg: circuit %q must be frozen", c.Name)
 	}
@@ -63,7 +77,10 @@ func New(c *logic.Circuit, opts ...Option) (*Generator, error) {
 		m:          bdd.NewWithLimit(cfg.nodeLimit),
 		constraint: bdd.True,
 		inputNames: c.InputNames(),
+		col:        cfg.collector,
 	}
+	g.m.Instrument(g.col)
+	defer g.col.StartSpan("atpg.build_obdds").End()
 	if cfg.varOrder != nil {
 		if err := validateOrder(c, cfg.varOrder); err != nil {
 			return nil, err
@@ -100,6 +117,10 @@ func New(c *logic.Circuit, opts ...Option) (*Generator, error) {
 // Manager exposes the underlying BDD manager so callers can build
 // constraint functions over the input variables.
 func (g *Generator) Manager() *bdd.Manager { return g.m }
+
+// Collector returns the obs collector this generator reports to
+// (obs.Default unless overridden with WithCollector; possibly nil).
+func (g *Generator) Collector() *obs.Collector { return g.col }
 
 // Circuit returns the circuit under test.
 func (g *Generator) Circuit() *logic.Circuit { return g.c }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bdd"
 	"repro/internal/faults"
+	"repro/internal/obs"
 )
 
 // Result summarises one ATPG run, mirroring the columns of Table 4 of the
@@ -19,11 +20,24 @@ type Result struct {
 	CPU        time.Duration
 	PeakNodes  int
 	RandomHits int // faults dropped by the optional random phase
+
+	// Stats holds the run's slice of the generator's obs collector:
+	// BDD cache hit rates, the per-fault latency histogram, fault
+	// tallies and the run's spans. Nil when instrumentation is disabled
+	// (atpg.WithCollector(nil)). When several generators share one
+	// collector concurrently, the window also includes their activity.
+	Stats *obs.Snapshot
 }
 
 // Coverage returns detected / (total − untestable), the usual fault-
-// coverage figure excluding provably untestable faults.
+// coverage figure excluding provably untestable faults. An empty fault
+// list yields 0 — a vacuous run must not read as full coverage — while a
+// nonempty list with every fault provably untestable yields 1 (nothing
+// detectable was missed).
 func (r *Result) Coverage() float64 {
+	if r.Total == 0 {
+		return 0
+	}
 	den := r.Total - len(r.Untestable)
 	if den <= 0 {
 		return 1
@@ -42,7 +56,11 @@ type runConfig struct {
 // WithRandomPhase prepends n random vectors (legal only when the circuit
 // has no constraints — the paper notes a random pattern can only be
 // simulated if it satisfies Fc, so with constraints the run stays fully
-// deterministic; random vectors violating Fc are discarded here).
+// deterministic; random vectors violating Fc are discarded here). The
+// vectors are drawn from a run-local *rand.Rand seeded with seed, never
+// from the package-global math/rand state, so two runs with the same
+// seed produce identical vector sets no matter what other code does with
+// the global generator.
 func WithRandomPhase(n int, seed int64) RunOption {
 	return func(c *runConfig) { c.randomVectors = n; c.randomSeed = seed }
 }
@@ -57,6 +75,13 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 		o(&cfg)
 	}
 	start := time.Now()
+	snapBefore := g.col.Snapshot()
+	runSpan := g.col.StartSpan("atpg.run")
+	latency := g.col.Histogram("atpg.fault.latency_ns")
+	cDetected := g.col.Counter("atpg.faults.detected")
+	cDropped := g.col.Counter("atpg.faults.dropped")
+	g.col.Counter("atpg.faults.total").Add(int64(len(fs)))
+
 	res := &Result{Total: len(fs)}
 	sim := faults.NewSimulator(g.c)
 
@@ -82,6 +107,8 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 			if d >= 0 {
 				state[idx[j]] = 1
 				res.Detected++
+				cDetected.Inc()
+				cDropped.Inc()
 				if markRandom {
 					res.RandomHits++
 				}
@@ -89,8 +116,10 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 		}
 	}
 
-	// Optional random phase.
+	// Optional random phase. The rng lives and dies with this call; see
+	// WithRandomPhase for the reproducibility contract.
 	if cfg.randomVectors > 0 {
+		randSpan := g.col.StartSpan("atpg.random_phase")
 		rng := rand.New(rand.NewSource(cfg.randomSeed))
 		nIn := len(g.c.Inputs())
 		for k := 0; k < cfg.randomVectors; k++ {
@@ -108,32 +137,41 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 			dropWith(v, true)
 			if res.Detected > before {
 				res.Vectors = append(res.Vectors, v)
+				g.col.Counter("atpg.vectors").Inc()
 			}
 		}
+		g.col.Counter("atpg.random.hits").Add(int64(res.RandomHits))
+		randSpan.End()
 	}
 
 	// Deterministic phase.
+	detSpan := g.col.StartSpan("atpg.deterministic_phase")
 	for i := range fs {
 		if state[i] != 0 {
 			continue
 		}
 		var v faults.Vector
 		var ok bool
+		faultStart := time.Now()
 		err := bdd.Guard(func() error {
 			v, ok = g.GenerateVector(fs[i])
 			return nil
 		})
+		latency.Observe(time.Since(faultStart).Nanoseconds())
 		if err != nil {
 			state[i] = 3
 			res.Aborted = append(res.Aborted, fs[i])
+			g.col.Counter("atpg.faults.aborted").Inc()
 			continue
 		}
 		if !ok {
 			state[i] = 2
 			res.Untestable = append(res.Untestable, fs[i])
+			g.col.Counter("atpg.faults.untestable").Inc()
 			continue
 		}
 		res.Vectors = append(res.Vectors, v)
+		g.col.Counter("atpg.vectors").Inc()
 		dropWith(v, false)
 		if state[i] == 0 {
 			// The generated vector must detect its target; treat a miss
@@ -141,8 +179,13 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 			panic("atpg: generated vector does not detect its target fault")
 		}
 	}
+	detSpan.End()
 	res.CPU = time.Since(start)
 	res.PeakNodes = g.m.PeakSize()
+	runSpan.End()
+	if g.col != nil {
+		res.Stats = g.col.Snapshot().Sub(snapBefore)
+	}
 	return res
 }
 

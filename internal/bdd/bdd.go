@@ -17,6 +17,8 @@ package bdd
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // Ref identifies a BDD node inside its Manager. The constants False and
@@ -70,6 +72,54 @@ type Manager struct {
 	cache    map[opKey]Ref
 	limit    int
 	peakSize int
+	met      metrics
+}
+
+// metrics holds the manager's pre-resolved obs handles. The handles are
+// looked up once in Instrument; the hot paths (mk, ITE, the op cache)
+// then pay exactly one atomic add per event. All fields may be nil
+// (uninstrumented manager), which every obs update method treats as a
+// no-op.
+type metrics struct {
+	uniqueHit, uniqueMiss     *obs.Counter
+	iteHit, iteMiss           *obs.Counter
+	existsHit, existsMiss     *obs.Counter
+	restrictHit, restrictMiss *obs.Counter
+	nodesAlloc                *obs.Counter
+	limitTrips                *obs.Counter
+	peakNodes                 *obs.Gauge
+}
+
+// Instrument points the manager's hot-path metrics at the collector
+// (nil disables them again). Counter handles are interned by name, so
+// managers sharing a collector accumulate into the same metrics:
+//
+//	bdd.unique.hit / bdd.unique.miss    unique-table (hash-cons) lookups
+//	bdd.ite.hit / bdd.ite.miss          ITE operation-cache lookups
+//	bdd.exists.hit / bdd.exists.miss    Exists operation-cache lookups
+//	bdd.restrict.hit / bdd.restrict.miss  Restrict/Compose cache lookups
+//	bdd.nodes.alloc                     decision nodes allocated
+//	bdd.limit.trips                     LimitError guard trips
+//	bdd.nodes.peak (gauge)              largest arena observed
+func (m *Manager) Instrument(c *obs.Collector) {
+	if c == nil {
+		m.met = metrics{}
+		return
+	}
+	m.met = metrics{
+		uniqueHit:    c.Counter("bdd.unique.hit"),
+		uniqueMiss:   c.Counter("bdd.unique.miss"),
+		iteHit:       c.Counter("bdd.ite.hit"),
+		iteMiss:      c.Counter("bdd.ite.miss"),
+		existsHit:    c.Counter("bdd.exists.hit"),
+		existsMiss:   c.Counter("bdd.exists.miss"),
+		restrictHit:  c.Counter("bdd.restrict.hit"),
+		restrictMiss: c.Counter("bdd.restrict.miss"),
+		nodesAlloc:   c.Counter("bdd.nodes.alloc"),
+		limitTrips:   c.Counter("bdd.limit.trips"),
+		peakNodes:    c.Gauge("bdd.nodes.peak"),
+	}
+	m.met.peakNodes.SetMax(int64(len(m.nodes)))
 }
 
 // DefaultNodeLimit is the node budget of managers created with New.
@@ -154,16 +204,21 @@ func (m *Manager) mk(level int32, lo, hi Ref) Ref {
 	}
 	key := node{level: level, lo: lo, hi: hi}
 	if r, ok := m.unique[key]; ok {
+		m.met.uniqueHit.Inc()
 		return r
 	}
+	m.met.uniqueMiss.Inc()
 	if len(m.nodes) >= m.limit {
+		m.met.limitTrips.Inc()
 		panic(&LimitError{Limit: m.limit})
 	}
 	r := Ref(len(m.nodes))
 	m.nodes = append(m.nodes, key)
 	m.unique[key] = r
+	m.met.nodesAlloc.Inc()
 	if len(m.nodes) > m.peakSize {
 		m.peakSize = len(m.nodes)
+		m.met.peakNodes.SetMax(int64(m.peakSize))
 	}
 	return r
 }
@@ -186,8 +241,10 @@ func (m *Manager) ITE(f, g, h Ref) Ref {
 	}
 	key := opKey{op: opITE, f: f, g: g, h: h}
 	if r, ok := m.cache[key]; ok {
+		m.met.iteHit.Inc()
 		return r
 	}
+	m.met.iteMiss.Inc()
 	// Split on the top variable of the three operands.
 	top := m.level(f)
 	if l := m.level(g); l < top {
@@ -283,8 +340,10 @@ func (m *Manager) restrictLevel(f Ref, level int32, val bool) Ref {
 	}
 	key := opKey{op: opRestrict, f: f, g: m.mk(level, False, True), h: sel}
 	if r, ok := m.cache[key]; ok {
+		m.met.restrictHit.Inc()
 		return r
 	}
+	m.met.restrictMiss.Inc()
 	n := m.nodes[f]
 	var r Ref
 	if n.level == level {
@@ -321,8 +380,10 @@ func (m *Manager) Exists(f Ref, name string) Ref {
 	}
 	key := opKey{op: opExists, f: f, g: m.mk(int32(l), False, True)}
 	if r, ok := m.cache[key]; ok {
+		m.met.existsHit.Inc()
 		return r
 	}
+	m.met.existsMiss.Inc()
 	r := m.Or(m.restrictLevel(f, int32(l), false), m.restrictLevel(f, int32(l), true))
 	m.cache[key] = r
 	return r

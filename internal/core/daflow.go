@@ -12,6 +12,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/mna"
 	"repro/internal/numeric"
+	"repro/internal/obs"
 )
 
 // MixedDA is the dual configuration the paper leaves to "another paper":
@@ -118,10 +119,11 @@ type DAResult struct {
 	CPU        time.Duration
 }
 
-// Coverage returns detected/total.
+// Coverage returns detected/total; an empty fault list reads as 0, like
+// atpg.Result.Coverage.
 func (r *DAResult) Coverage() float64 {
 	if r.Total == 0 {
-		return 1
+		return 0
 	}
 	return float64(r.Detected) / float64(r.Total)
 }
@@ -182,6 +184,7 @@ func (mx *MixedDA) DetectsDA(v faults.Vector, f faults.Fault, tau uint64) bool {
 // through the DAC and analog output, with fault dropping under the
 // threshold-detection criterion.
 func (mx *MixedDA) RunDigitalDA(g *atpg.Generator, fs []faults.Fault, tau uint64) *DAResult {
+	defer obs.Default.StartSpan("core.run_digital_da").End()
 	start := time.Now()
 	res := &DAResult{Tau: tau, Total: len(fs)}
 	state := make([]byte, len(fs)) // 0 pending, 1 detected, 2 untestable

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/adc"
 	"repro/internal/analog"
+	"repro/internal/obs"
 	"repro/internal/waveform"
 )
 
@@ -33,6 +34,7 @@ type ElementTest struct {
 // when "all the possibilities are studied" without success the element is
 // reported untestable through the mixed circuit.
 func (mx *Mixed) TestAnalogElement(p *Propagator, matrix *analog.Matrix, elem string, bound Bound) (ElementTest, error) {
+	defer obs.Default.StartSpan("core.element_test").End()
 	res := ElementTest{Element: elem, Bound: bound}
 	order := matrix.ParamsFor(elem)
 	if len(order) == 0 {
@@ -100,6 +102,7 @@ type PropagationCensus struct {
 // CensusPropagation probes every comparator position with both composite
 // polarities on the adjacent-thermometer background.
 func (mx *Mixed) CensusPropagation(p *Propagator) (*PropagationCensus, error) {
+	defer obs.Default.StartSpan("core.census").End()
 	n := mx.Conv.NumComparators()
 	out := &PropagationCensus{AllowedEither: map[int]bool{}}
 	for k := 1; k <= n; k++ {

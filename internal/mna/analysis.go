@@ -6,6 +6,7 @@ import (
 	"math/cmplx"
 
 	"repro/internal/numeric"
+	"repro/internal/obs"
 )
 
 // Solution holds the result of one DC or AC analysis: the phasor voltage
@@ -153,8 +154,21 @@ func stampAdmittance(addA func(r, c int, v complex128), ia, ib int, y complex128
 	addA(ib, ia, -y)
 }
 
+// Solve counters, resolved once against the process-wide collector. The
+// AC count is the pipeline's unit of analog work: every gain, sweep, ED
+// search and Monte Carlo sample funnels through here.
+var (
+	cSolvesDC = obs.Default.Counter("mna.solves.dc")
+	cSolvesAC = obs.Default.Counter("mna.solves.ac")
+)
+
 // solve runs the analysis at angular frequency omega.
 func (c *Circuit) solve(omega, freq float64) (*Solution, error) {
+	if freq == 0 {
+		cSolvesDC.Inc()
+	} else {
+		cSolvesAC.Inc()
+	}
 	a, b, nNodes := c.assemble(omega)
 	x, err := numeric.SolveComplex(a, b)
 	if err != nil {

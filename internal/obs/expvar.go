@@ -1,0 +1,14 @@
+package obs
+
+import "expvar"
+
+// PublishExpvar exposes the collector's live snapshot under the given
+// expvar name, so an http server that imports net/http/pprof (which pulls
+// in expvar's /debug/vars handler) serves the obs counters alongside the
+// profiles. Publishing an already-published name panics (expvar's
+// contract), so call this once per process per name.
+func PublishExpvar(name string, c *Collector) {
+	expvar.Publish(name, expvar.Func(func() any {
+		return c.Snapshot()
+	}))
+}

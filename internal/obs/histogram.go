@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// numBuckets covers int64 values with power-of-two buckets: bucket 0
+// holds v <= 0, bucket i (1..64) holds 2^(i-1) <= v < 2^i.
+const numBuckets = 65
+
+// Histogram is a log-bucketed (base-2) histogram of int64 observations,
+// suitable for latencies in nanoseconds and node counts alike: 64 buckets
+// span the full int64 range with ~2x resolution, and every Observe is a
+// handful of atomic adds — no locks, no allocation.
+type Histogram struct {
+	count   int64
+	sum     int64
+	min     int64 // valid only when count > 0; guarded by CAS
+	max     int64
+	buckets [numBuckets]int64
+}
+
+// bucketIndex returns the bucket for v: 0 for v <= 0, otherwise
+// 1 + floor(log2(v)).
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	idx := 0
+	for u := uint64(v); u != 0; u >>= 1 {
+		idx++
+	}
+	return idx
+}
+
+// bucketUpper returns the exclusive upper bound of bucket i (the "le"
+// edge reported in snapshots).
+func bucketUpper(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return int64(1) << uint(i)
+}
+
+// Observe records one value. No-op on a nil histogram.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	atomic.AddInt64(&h.buckets[bucketIndex(v)], 1)
+	atomic.AddInt64(&h.sum, v)
+	if atomic.AddInt64(&h.count, 1) == 1 {
+		// First observation seeds min/max; concurrent racers fix up below.
+		atomic.StoreInt64(&h.min, v)
+		atomic.StoreInt64(&h.max, v)
+	}
+	for {
+		cur := atomic.LoadInt64(&h.min)
+		if v >= cur || atomic.CompareAndSwapInt64(&h.min, cur, v) {
+			break
+		}
+	}
+	for {
+		cur := atomic.LoadInt64(&h.max)
+		if v <= cur || atomic.CompareAndSwapInt64(&h.max, cur, v) {
+			break
+		}
+	}
+}
+
+// Bucket is one non-empty histogram bucket in a snapshot: N observations
+// with value <= LE (and greater than the previous bucket's LE).
+type Bucket struct {
+	LE int64 `json:"le"`
+	N  int64 `json:"n"`
+}
+
+// HistogramSnapshot is the serialisable state of a histogram.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Min     int64    `json:"min"`
+	Max     int64    `json:"max"`
+	Mean    float64  `json:"mean"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// snapshot captures the histogram's current state. Under concurrent
+// updates the fields are each atomically read but not mutually consistent;
+// for per-run reporting that skew is negligible.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: atomic.LoadInt64(&h.count),
+		Sum:   atomic.LoadInt64(&h.sum),
+	}
+	if s.Count > 0 {
+		s.Min = atomic.LoadInt64(&h.min)
+		s.Max = atomic.LoadInt64(&h.max)
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	for i := range h.buckets {
+		if n := atomic.LoadInt64(&h.buckets[i]); n > 0 {
+			s.Buckets = append(s.Buckets, Bucket{LE: bucketUpper(i), N: n})
+		}
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket counts,
+// interpolating linearly inside the winning bucket. Returns 0 for an
+// empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for _, b := range s.Buckets {
+		next := cum + float64(b.N)
+		if next >= rank {
+			lo := float64(0)
+			if b.LE > 1 {
+				lo = float64(b.LE) / 2
+			}
+			frac := 0.0
+			if b.N > 0 {
+				frac = (rank - cum) / float64(b.N)
+			}
+			return lo + frac*(float64(b.LE)-lo)
+		}
+		cum = next
+	}
+	return float64(s.Max)
+}
+
+// Sub returns the change from prev to s: counts, sums and buckets are
+// subtracted; Min/Max keep the current (cumulative) values since extremes
+// cannot be un-observed.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{
+		Count: s.Count - prev.Count,
+		Sum:   s.Sum - prev.Sum,
+		Min:   s.Min,
+		Max:   s.Max,
+	}
+	if out.Count > 0 {
+		out.Mean = float64(out.Sum) / float64(out.Count)
+	}
+	prevAt := map[int64]int64{}
+	for _, b := range prev.Buckets {
+		prevAt[b.LE] = b.N
+	}
+	for _, b := range s.Buckets {
+		if n := b.N - prevAt[b.LE]; n > 0 {
+			out.Buckets = append(out.Buckets, Bucket{LE: b.LE, N: n})
+		}
+	}
+	return out
+}

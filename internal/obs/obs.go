@@ -1,0 +1,179 @@
+// Package obs is the pipeline's zero-dependency instrumentation layer:
+// atomic counters, gauges, log-bucketed histograms and lightweight spans,
+// collected per Collector and serialised as a JSON Snapshot.
+//
+// Design constraints, in order:
+//
+//   - Hot paths (the BDD unique table and ITE cache run tens of millions
+//     of events per ATPG run) pay one atomic add per event and nothing
+//     else: metric handles are resolved once, by name, outside the hot
+//     loop, and the update methods touch no maps, no locks, no clocks.
+//   - Everything is nil-safe. A nil *Collector hands out nil metric
+//     handles, and every update method on a nil handle is a no-op, so
+//     uninstrumented code paths cost a predictable branch.
+//   - No dependencies beyond the standard library, and none of the
+//     repro's own packages, so every layer (bdd, atpg, analog, mna,
+//     core, cmd) can import it freely.
+//
+// The conventional metric names used across the pipeline are documented
+// in the README ("Observability" section).
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v int64
+}
+
+// Inc adds 1. No-op on a nil counter.
+func (c *Counter) Inc() {
+	if c != nil {
+		atomic.AddInt64(&c.v, 1)
+	}
+}
+
+// Add adds n. No-op on a nil counter.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		atomic.AddInt64(&c.v, n)
+	}
+}
+
+// Load returns the current value (0 for a nil counter).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&c.v)
+}
+
+// Gauge is an atomic instantaneous value (a level or a peak).
+type Gauge struct {
+	v int64
+}
+
+// Set stores n. No-op on a nil gauge.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		atomic.StoreInt64(&g.v, n)
+	}
+}
+
+// SetMax raises the gauge to n if n is larger than the current value —
+// the update used for peaks (e.g. peak BDD nodes). No-op on nil.
+func (g *Gauge) SetMax(n int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := atomic.LoadInt64(&g.v)
+		if n <= cur || atomic.CompareAndSwapInt64(&g.v, cur, n) {
+			return
+		}
+	}
+}
+
+// Load returns the current value (0 for a nil gauge).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&g.v)
+}
+
+// Collector owns a named set of metrics and a span log. Metric handles
+// are interned: asking twice for the same name returns the same handle,
+// so collectors can be shared across layers and runs. All methods are
+// safe for concurrent use; a nil *Collector is a valid no-op collector.
+type Collector struct {
+	epoch time.Time
+
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	spans      []SpanRecord
+	spansDrop  int64
+}
+
+// maxSpans bounds the span log so always-on tracing cannot grow without
+// limit; spans beyond the cap are counted, not stored.
+const maxSpans = 8192
+
+// NewCollector returns an empty, enabled collector.
+func NewCollector() *Collector {
+	return &Collector{
+		epoch:      time.Now(),
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Default is the process-wide collector the pipeline reports to unless a
+// caller installs its own (e.g. atpg.WithCollector).
+var Default = NewCollector()
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil (a no-op handle) on a nil collector.
+func (c *Collector) Counter(name string) *Counter {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ctr, ok := c.counters[name]
+	if !ok {
+		ctr = &Counter{}
+		c.counters[name] = ctr
+	}
+	return ctr
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// (a no-op handle) on a nil collector.
+func (c *Collector) Gauge(name string) *Gauge {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g, ok := c.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		c.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+// Returns nil (a no-op handle) on a nil collector.
+func (c *Collector) Histogram(name string) *Histogram {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		c.histograms[name] = h
+	}
+	return h
+}
+
+// counterNames returns the sorted counter names (test/snapshot helper).
+func (c *Collector) counterNames() []string {
+	names := make([]string, 0, len(c.counters))
+	for n := range c.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

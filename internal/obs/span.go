@@ -1,0 +1,84 @@
+package obs
+
+import "time"
+
+// SpanRecord is one completed span: a named interval of work, positioned
+// by its start offset from the collector's epoch so span logs from one
+// run compose into a timeline without wall-clock stamps.
+type SpanRecord struct {
+	Name    string `json:"name"`
+	StartNs int64  `json:"start_ns"` // offset from the collector epoch
+	DurNs   int64  `json:"dur_ns"`
+}
+
+// Span is an in-flight span; call End exactly once. A nil Span (from a
+// nil collector) is a valid no-op.
+type Span struct {
+	c     *Collector
+	name  string
+	start time.Time
+}
+
+// StartSpan opens a span. Typical use:
+//
+//	defer c.StartSpan("atpg.run").End()
+//
+// Returns nil (a no-op span) on a nil collector.
+func (c *Collector) StartSpan(name string) *Span {
+	if c == nil {
+		return nil
+	}
+	return &Span{c: c, name: name, start: time.Now()}
+}
+
+// End closes the span and appends it to the collector's span log. The log
+// is capped at maxSpans; overflow is counted in the snapshot's
+// SpansDropped field rather than stored.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	rec := SpanRecord{
+		Name:    s.name,
+		StartNs: s.start.Sub(s.c.epoch).Nanoseconds(),
+		DurNs:   now.Sub(s.start).Nanoseconds(),
+	}
+	s.c.mu.Lock()
+	if len(s.c.spans) < maxSpans {
+		s.c.spans = append(s.c.spans, rec)
+	} else {
+		s.c.spansDrop++
+	}
+	s.c.mu.Unlock()
+}
+
+// Time runs fn inside a span — convenience for instrumenting a whole
+// function body without restructuring it.
+func (c *Collector) Time(name string, fn func()) {
+	sp := c.StartSpan(name)
+	fn()
+	sp.End()
+}
+
+// Spans returns a copy of the completed span log.
+func (c *Collector) Spans() []SpanRecord {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]SpanRecord, len(c.spans))
+	copy(out, c.spans)
+	return out
+}
+
+// SpansDropped returns how many spans overflowed the log cap.
+func (c *Collector) SpansDropped() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.spansDrop
+}
