@@ -1,0 +1,96 @@
+// Command benchdiff compares two BENCH_obs.json benchmark snapshots
+// (written by benchgen -obs) and prints a per-metric delta table:
+// latency quantiles, BDD cache hit rates, peak node counts and vector
+// counts, per circuit and configuration.
+//
+// Exit status: 0 when no metric crossed its regression threshold, 1 on
+// regression (unless -warn-only), 2 on usage or I/O errors. CI runs it
+// against a committed baseline with -warn-only so benchmark noise on
+// shared runners cannot fail the build, while still surfacing drift in
+// the job log.
+//
+// Usage:
+//
+//	benchdiff [flags] OLD.json NEW.json
+//
+// Thresholds are per metric family:
+//
+//	-latency-slack 0.10   tolerated relative increase of cpu_ns and
+//	                      fault latency quantiles (and relative drop
+//	                      of vectors_per_sec)
+//	-hitrate-slack 0.02   tolerated absolute drop of BDD cache hit
+//	                      rates, in points of [0,1]
+//	-nodes-slack   0.15   tolerated relative increase of peak_nodes
+//	                      and nodes_alloc
+//	-strict-counts        vector/untestable count changes regress
+//	                      (default true — a count change means the
+//	                      generator's behaviour moved, not its speed)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/benchfmt"
+)
+
+func main() {
+	var (
+		latSlack     = flag.Float64("latency-slack", 0.10, "tolerated relative latency increase (0.10 = +10%)")
+		hitSlack     = flag.Float64("hitrate-slack", 0.02, "tolerated absolute hit-rate drop in points of [0,1]")
+		nodesSlack   = flag.Float64("nodes-slack", 0.15, "tolerated relative node-count increase")
+		strictCounts = flag.Bool("strict-counts", true, "treat vector/untestable count changes as regressions")
+		warnOnly     = flag.Bool("warn-only", false, "report regressions but exit 0")
+		all          = flag.Bool("all", false, "print unchanged metrics too")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	oldRep, err := benchfmt.Load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newRep, err := benchfmt.Load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	th := benchfmt.Thresholds{
+		LatencySlack:    *latSlack,
+		HitRateSlack:    *hitSlack,
+		NodesSlack:      *nodesSlack,
+		CountsMustMatch: *strictCounts,
+	}
+	deltas := benchfmt.Diff(oldRep, newRep, th)
+	if len(deltas) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no circuits in common between the two snapshots")
+		os.Exit(2)
+	}
+	if err := benchfmt.WriteTable(os.Stdout, deltas, !*all); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	if benchfmt.AnyRegressed(deltas) {
+		n := 0
+		for _, d := range deltas {
+			if d.Regressed {
+				n++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed past threshold\n", n)
+		if !*warnOnly {
+			os.Exit(1)
+		}
+	}
+}

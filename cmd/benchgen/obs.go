@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/adc"
 	"repro/internal/atpg"
+	"repro/internal/benchfmt"
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/iscas"
@@ -17,44 +18,20 @@ import (
 // obsCircuits is the default -obs workload: the Table 4 benchmark set.
 var obsCircuits = []string{"c432", "c499", "c880", "c1355", "c1908"}
 
-// BenchRun is one timed ATPG configuration (free or constrained) with
-// the headline obs figures future PRs diff against.
-type BenchRun struct {
-	CPUNs         int64   `json:"cpu_ns"`
-	Vectors       int     `json:"vectors"`
-	Untestable    int     `json:"untestable"`
-	VectorsPerSec float64 `json:"vectors_per_sec"`
-	ITEHitRate    float64 `json:"ite_hit_rate"`
-	UniqueHitRate float64 `json:"unique_hit_rate"`
-	PeakNodes     int64   `json:"peak_nodes"`
-	NodesAlloc    int64   `json:"nodes_alloc"`
-	FaultP50Ns    float64 `json:"fault_p50_ns"`
-	FaultP99Ns    float64 `json:"fault_p99_ns"`
-	// Snapshot is the run's full obs snapshot, for drill-down.
-	Snapshot *obs.Snapshot `json:"snapshot"`
-}
-
-// BenchCircuit is the per-circuit record of a -obs run.
-type BenchCircuit struct {
-	Circuit     string    `json:"circuit"`
-	Faults      int       `json:"faults"`
-	Free        *BenchRun `json:"free"`
-	Constrained *BenchRun `json:"constrained"`
-}
-
-// BenchReport is the top-level BENCH_obs.json document.
-type BenchReport struct {
-	GeneratedAt time.Time      `json:"generated_at"`
-	GoVersion   string         `json:"go_version,omitempty"`
-	Circuits    []BenchCircuit `json:"circuits"`
-}
-
-func benchRun(res *atpg.Result) *BenchRun {
-	r := &BenchRun{
+func benchRun(res *atpg.Result) *benchfmt.Run {
+	r := &benchfmt.Run{
 		CPUNs:      res.CPU.Nanoseconds(),
 		Vectors:    len(res.Vectors),
 		Untestable: len(res.Untestable),
-		Snapshot:   res.Stats,
+	}
+	if s := res.Stats; s != nil {
+		// Embed the snapshot without its per-fault event log: the
+		// counters, histograms and spans carry the drill-down value,
+		// and dropping events keeps committed baselines diff-friendly.
+		trimmed := *s
+		trimmed.Events = nil
+		trimmed.EventsDropped = 0
+		r.Snapshot = &trimmed
 	}
 	if secs := res.CPU.Seconds(); secs > 0 {
 		r.VectorsPerSec = float64(len(res.Vectors)) / secs
@@ -74,20 +51,20 @@ func benchRun(res *atpg.Result) *BenchRun {
 
 // emitObs runs free and constrained ATPG on each benchmark circuit, each
 // under a fresh collector so the embedded snapshots are per-configuration,
-// and writes the report as JSON.
+// and writes the report as JSON in the benchfmt schema.
 func emitObs(path, only string) error {
 	names := obsCircuits
 	if only != "" {
 		names = []string{only}
 	}
-	report := BenchReport{GeneratedAt: time.Now()}
+	report := benchfmt.Report{GeneratedAt: time.Now()}
 	for _, name := range names {
 		c, err := iscas.Benchmark(name)
 		if err != nil {
 			return err
 		}
 		fs := faults.Collapse(c)
-		rec := BenchCircuit{Circuit: name, Faults: len(fs)}
+		rec := benchfmt.Circuit{Circuit: name, Faults: len(fs)}
 
 		gFree, err := atpg.New(c, atpg.WithCollector(obs.NewCollector()))
 		if err != nil {

@@ -14,6 +14,10 @@
 //	msatpg -stats -              # JSON obs snapshot on exit (to stdout)
 //	msatpg -stats run.json       # ... or to a file
 //	msatpg -trace-out spans.jsonl  # span log, one JSON record per line
+//	msatpg -report out.json        # structured run report (JSON)
+//	msatpg -report-text -          # ... same report, human-readable
+//	msatpg -trace-chrome trace.json  # Chrome trace_event export; load
+//	                                 # in chrome://tracing or Perfetto
 //	msatpg -pprof localhost:6060   # serve net/http/pprof + /debug/vars
 //
 // The snapshot carries the whole pipeline's metrics (BDD cache hit
@@ -38,6 +42,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/iscas"
 	"repro/internal/obs"
+	"repro/internal/report"
 )
 
 func main() {
@@ -47,6 +52,9 @@ func main() {
 	program := flag.Bool("program", false, "compile and print the complete test program instead of the summary")
 	stats := flag.String("stats", "", "write the obs JSON snapshot on exit to this file, or - for stdout")
 	traceOut := flag.String("trace-out", "", "write the span log (JSON lines) on exit to this file, or - for stdout")
+	reportOut := flag.String("report", "", "write the structured run report as JSON to this file, or - for stdout")
+	reportText := flag.String("report-text", "", "write the run report in human-readable form to this file, or - for stdout")
+	traceChrome := flag.String("trace-chrome", "", "write a Chrome trace_event JSON file (chrome://tracing, Perfetto)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar (obs counters) on this address, e.g. localhost:6060")
 	flag.Parse()
 
@@ -61,7 +69,7 @@ func main() {
 	}
 
 	err := run(*circuit, *digital, *verbose, *program)
-	if werr := writeObs(*stats, *traceOut); err == nil {
+	if werr := writeObs(*stats, *traceOut, *reportOut, *reportText, *traceChrome); err == nil {
 		err = werr
 	}
 	if err != nil {
@@ -70,39 +78,48 @@ func main() {
 	}
 }
 
-// writeObs dumps the process snapshot and/or span log per the -stats and
-// -trace-out flags. It runs even when the flow failed, so a crash still
-// leaves the metrics behind.
-func writeObs(stats, traceOut string) error {
-	if stats == "" && traceOut == "" {
+// writeObs dumps the process snapshot, span log, run report and/or
+// Chrome trace per the corresponding flags. It runs even when the flow
+// failed, so a crash still leaves the metrics behind.
+func writeObs(stats, traceOut, reportOut, reportText, traceChrome string) error {
+	if stats == "" && traceOut == "" && reportOut == "" && reportText == "" && traceChrome == "" {
 		return nil
 	}
 	snap := obs.Default.Snapshot()
-	if stats != "" {
-		w, closeFn, err := outFile(stats)
+	write := func(flagName, path string, fn func(*os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		w, closeFn, err := outFile(path)
 		if err != nil {
 			return err
 		}
-		err = snap.WriteJSON(w)
+		err = fn(w)
 		if cerr := closeFn(); err == nil {
 			err = cerr
 		}
 		if err != nil {
-			return fmt.Errorf("writing -stats: %w", err)
+			return fmt.Errorf("writing %s: %w", flagName, err)
+		}
+		return nil
+	}
+	if err := write("-stats", stats, func(w *os.File) error { return snap.WriteJSON(w) }); err != nil {
+		return err
+	}
+	if err := write("-trace-out", traceOut, func(w *os.File) error { return snap.WriteSpanLog(w) }); err != nil {
+		return err
+	}
+	if reportOut != "" || reportText != "" {
+		rep := report.Build(snap)
+		if err := write("-report", reportOut, func(w *os.File) error { return rep.WriteJSON(w) }); err != nil {
+			return err
+		}
+		if err := write("-report-text", reportText, func(w *os.File) error { return rep.WriteText(w) }); err != nil {
+			return err
 		}
 	}
-	if traceOut != "" {
-		w, closeFn, err := outFile(traceOut)
-		if err != nil {
-			return err
-		}
-		err = snap.WriteSpanLog(w)
-		if cerr := closeFn(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			return fmt.Errorf("writing -trace-out: %w", err)
-		}
+	if err := write("-trace-chrome", traceChrome, func(w *os.File) error { return snap.WriteChromeTrace(w) }); err != nil {
+		return err
 	}
 	return nil
 }

@@ -14,10 +14,14 @@
 // the last OBDD variable.
 //
 // The whole pipeline is instrumented through internal/obs (atomic
-// counters, gauges, histograms and spans on the standard library only):
-// cmd/msatpg exposes the metrics via -stats, -trace-out and -pprof,
-// cmd/benchgen records them per benchmark with -obs, and atpg.Result
-// carries a per-run snapshot in its Stats field.
+// counters, gauges, histograms, spans and a per-work-item structured
+// event log, on the standard library only): cmd/msatpg exposes the
+// metrics via -stats, -trace-out, -report/-report-text (structured run
+// reports built by internal/report), -trace-chrome (Chrome trace_event
+// export) and -pprof; cmd/benchgen records them per benchmark with -obs
+// in the internal/benchfmt schema; cmd/benchdiff compares two such
+// snapshots with regression thresholds; and atpg.Result carries a
+// per-run snapshot in its Stats field.
 //
 // See README.md for the layout, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.

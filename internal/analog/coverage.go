@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/mna"
 	"repro/internal/obs"
@@ -19,7 +20,9 @@ type Matrix struct {
 }
 
 // BuildMatrix computes the full worst-case deviation matrix for the
-// given elements and parameters.
+// given elements and parameters. Each element row leaves one "analog.ed"
+// event carrying its best (smallest) worst-case deviation and the
+// parameter achieving it — the per-element record of Equation 1.
 func BuildMatrix(c *mna.Circuit, elements []string, params []Parameter, opt EDOptions) (*Matrix, error) {
 	defer obs.Default.StartSpan("analog.build_matrix").End()
 	m := &Matrix{
@@ -28,6 +31,7 @@ func BuildMatrix(c *mna.Circuit, elements []string, params []Parameter, opt EDOp
 		ED:       make([][]float64, len(elements)),
 	}
 	for i, e := range elements {
+		start := time.Now()
 		m.ED[i] = make([]float64, len(params))
 		for j, p := range params {
 			ed, err := WorstCaseED(c, e, p, elements, opt)
@@ -35,6 +39,14 @@ func BuildMatrix(c *mna.Circuit, elements []string, params []Parameter, opt EDOp
 				return nil, fmt.Errorf("analog: ED(%s, %s): %w", e, p.Name(), err)
 			}
 			m.ED[i][j] = ed
+		}
+		if best := m.BestParamFor(e); best >= 0 {
+			obs.Default.EventSince("analog.ed", e, start,
+				obs.Float("ed", m.ED[i][best]),
+				obs.Str("param", params[best].Name()))
+		} else {
+			obs.Default.EventSince("analog.ed", e, start,
+				obs.Str("outcome", "unobservable"))
 		}
 	}
 	return m, nil

@@ -1,6 +1,7 @@
 package atpg
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 
@@ -96,13 +97,22 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 		}
 		return idx
 	}
-	dropWith := func(v faults.Vector, markRandom bool) {
+	// dropWith fault-simulates v against the pending faults; each fault
+	// it detects (other than the targeted one, index target, which gets
+	// its own "tested" event) gets one "fault" event naming the vector's
+	// origin, so the run report can attribute every drop. target is -1
+	// for random vectors.
+	dropWith := func(v faults.Vector, target int, by string, markRandom bool) {
 		idx := pendingIdx()
 		rem := make([]faults.Fault, len(idx))
 		for j, i := range idx {
 			rem[j] = fs[i]
 		}
 		det := sim.Detect([]faults.Vector{v}, rem)
+		outcome := "dropped"
+		if markRandom {
+			outcome = "random"
+		}
 		for j, d := range det {
 			if d >= 0 {
 				state[idx[j]] = 1
@@ -111,6 +121,10 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 				cDropped.Inc()
 				if markRandom {
 					res.RandomHits++
+				}
+				if idx[j] != target {
+					g.col.Event("fault", rem[j].Name(g.c),
+						obs.Str("outcome", outcome), obs.Str("by", by))
 				}
 			}
 		}
@@ -134,7 +148,7 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 				}
 			}
 			before := res.Detected
-			dropWith(v, true)
+			dropWith(v, -1, fmt.Sprintf("random[%d]", k), true)
 			if res.Detected > before {
 				res.Vectors = append(res.Vectors, v)
 				g.col.Counter("atpg.vectors").Inc()
@@ -144,7 +158,10 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 		randSpan.End()
 	}
 
-	// Deterministic phase.
+	// Deterministic phase. Each targeted fault leaves exactly one event:
+	// outcome, latency, the size of the constrained product S and (when
+	// tested) the witness vector — the per-work-item record the run
+	// report and the Chrome trace are built from.
 	detSpan := g.col.StartSpan("atpg.deterministic_phase")
 	for i := range fs {
 		if state[i] != 0 {
@@ -152,9 +169,18 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 		}
 		var v faults.Vector
 		var ok bool
+		var productNodes int
+		name := fs[i].Name(g.c)
 		faultStart := time.Now()
 		err := bdd.Guard(func() error {
-			v, ok = g.GenerateVector(fs[i])
+			s := g.TestFunction(fs[i])
+			if g.col != nil {
+				productNodes = g.m.NodeCount(s)
+			}
+			var assign map[string]bool
+			if assign, ok = g.m.SatOneConstrained(s, g.inputNames); ok {
+				v = faults.VectorFromAssignment(g.c, assign)
+			}
 			return nil
 		})
 		latency.Observe(time.Since(faultStart).Nanoseconds())
@@ -162,17 +188,25 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 			state[i] = 3
 			res.Aborted = append(res.Aborted, fs[i])
 			g.col.Counter("atpg.faults.aborted").Inc()
+			g.col.EventSince("fault", name, faultStart, obs.Str("outcome", "aborted"))
 			continue
 		}
 		if !ok {
 			state[i] = 2
 			res.Untestable = append(res.Untestable, fs[i])
 			g.col.Counter("atpg.faults.untestable").Inc()
+			g.col.EventSince("fault", name, faultStart,
+				obs.Str("outcome", g.untestableReason(fs[i])),
+				obs.Int("product_nodes", int64(productNodes)))
 			continue
 		}
 		res.Vectors = append(res.Vectors, v)
 		g.col.Counter("atpg.vectors").Inc()
-		dropWith(v, false)
+		g.col.EventSince("fault", name, faultStart,
+			obs.Str("outcome", "tested"),
+			obs.Int("product_nodes", int64(productNodes)),
+			obs.Str("vector", v.String()))
+		dropWith(v, i, name, false)
 		if state[i] == 0 {
 			// The generated vector must detect its target; treat a miss
 			// as an internal inconsistency loudly rather than silently.
@@ -187,6 +221,35 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 		res.Stats = g.col.Snapshot().Sub(snapBefore)
 	}
 	return res
+}
+
+// untestableReason classifies why a fault's test function came out
+// empty: "constrained-out" when the fault is testable with Fc lifted
+// (the conversion block's constraints killed every activating
+// assignment — the paper's Example 2 cases) versus "no-difference" when
+// no primary output ever differs (redundant logic). Only called for the
+// handful of untestable faults per run, so the extra unconstrained
+// product is cheap; a node-limit abort during the probe reports
+// "unknown" rather than crashing the classification.
+func (g *Generator) untestableReason(f faults.Fault) string {
+	if g.constraint == bdd.True {
+		return "no-difference"
+	}
+	saved := g.constraint
+	g.constraint = bdd.True
+	unconstrained := bdd.False
+	err := bdd.Guard(func() error {
+		unconstrained = g.TestFunction(f)
+		return nil
+	})
+	g.constraint = saved
+	if err != nil {
+		return "unknown"
+	}
+	if unconstrained != bdd.False {
+		return "constrained-out"
+	}
+	return "no-difference"
 }
 
 // AllowedAssignments builds a constraint function as a sum of product

@@ -2,10 +2,12 @@ package atpg
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/bdd"
 	"repro/internal/faults"
 	"repro/internal/logic"
+	"repro/internal/obs"
 )
 
 // FaultyOutputsSet recomputes the output functions with every fault of
@@ -96,33 +98,37 @@ func (g *Generator) GenerateVectorSet(fs []faults.Fault) (faults.Vector, bool) {
 // stuck in every time frame. The unrolled circuit must come from
 // SeqCircuit.Unroll with the given frame count.
 func FrameFaults(seq *logic.SeqCircuit, unrolled *logic.Circuit, f faults.Fault, frames int) ([]faults.Fault, error) {
-	name := seq.Core.Signal(f.Signal).Name
-	var consumerName string
-	if f.Consumer >= 0 {
-		consumerName = seq.Core.Signal(f.Consumer).Name
-	}
 	var out []faults.Fault
 	for t := 0; t < frames; t++ {
-		sid, ok := unrolled.SigByName(logic.FrameName(name, t))
-		if !ok {
-			// Frame-0 state inputs may be constants; a fault on a
-			// constant-replaced state line only exists from frame 1 on.
-			continue
+		if ff, ok := frameFault(seq, unrolled, f, t); ok {
+			out = append(out, ff)
 		}
-		ff := faults.Fault{Signal: sid, Consumer: -1, Value: f.Value}
-		if f.Consumer >= 0 {
-			cid, ok := unrolled.SigByName(logic.FrameName(consumerName, t))
-			if !ok {
-				continue
-			}
-			ff.Consumer = cid
-		}
-		out = append(out, ff)
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("atpg: fault %s has no site in the unrolled circuit", f.Name(seq.Core))
 	}
 	return out, nil
+}
+
+// frameFault maps one core fault into time frame t of the unrolled
+// circuit. ok is false when the line does not exist in that frame
+// (frame-0 state inputs may be constants; a fault on a constant-replaced
+// state line only exists from frame 1 on).
+func frameFault(seq *logic.SeqCircuit, unrolled *logic.Circuit, f faults.Fault, t int) (faults.Fault, bool) {
+	name := seq.Core.Signal(f.Signal).Name
+	sid, ok := unrolled.SigByName(logic.FrameName(name, t))
+	if !ok {
+		return faults.Fault{}, false
+	}
+	ff := faults.Fault{Signal: sid, Consumer: -1, Value: f.Value}
+	if f.Consumer >= 0 {
+		cid, ok := unrolled.SigByName(logic.FrameName(seq.Core.Signal(f.Consumer).Name, t))
+		if !ok {
+			return faults.Fault{}, false
+		}
+		ff.Consumer = cid
+	}
+	return ff, true
 }
 
 // SequentialResult summarises a time-frame-expanded ATPG run.
@@ -138,8 +144,18 @@ type SequentialResult struct {
 // circuit using time-frame expansion with the given frame count and
 // initial state. Faults still untestable at this depth are reported (a
 // larger frame count may detect them).
+//
+// The run is traced on obs.Default (the generator's collector): an
+// "atpg.seq.run" span over the whole run, an "atpg.seq.unroll" span for
+// the expansion, one "atpg.seq.frame" span per time frame (fault-site
+// mapping), and one "seq.fault" event per core fault with its outcome
+// and site count.
 func RunSequential(seq *logic.SeqCircuit, fs []faults.Fault, frames int, initial map[string]bool) (*SequentialResult, error) {
+	col := obs.Default
+	defer col.StartSpan("atpg.seq.run").End()
+	unrollSpan := col.StartSpan("atpg.seq.unroll")
 	unrolled, err := seq.Unroll(frames, initial)
+	unrollSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -147,20 +163,42 @@ func RunSequential(seq *logic.SeqCircuit, fs []faults.Fault, frames int, initial
 	if err != nil {
 		return nil, err
 	}
+	// Map every core fault into each time frame, one span per frame —
+	// the per-timeframe cost shows up directly in the trace.
+	sites := make([][]faults.Fault, len(fs))
+	for t := 0; t < frames; t++ {
+		frameSpan := col.StartSpan("atpg.seq.frame")
+		for fi, f := range fs {
+			if ff, ok := frameFault(seq, unrolled, f, t); ok {
+				sites[fi] = append(sites[fi], ff)
+			}
+		}
+		frameSpan.End()
+	}
 	res := &SequentialResult{Frames: frames, Total: len(fs)}
-	for _, f := range fs {
-		sites, err := FrameFaults(seq, unrolled, f, frames)
-		if err != nil {
+	for fi, f := range fs {
+		name := f.Name(seq.Core)
+		start := time.Now()
+		if len(sites[fi]) == 0 {
 			res.Untestable = append(res.Untestable, f)
+			col.EventSince("seq.fault", name, start,
+				obs.Str("outcome", "no-site"), obs.Int("frames", int64(frames)))
 			continue
 		}
-		v, ok := g.GenerateVectorSet(sites)
+		v, ok := g.GenerateVectorSet(sites[fi])
 		if !ok {
 			res.Untestable = append(res.Untestable, f)
+			col.EventSince("seq.fault", name, start,
+				obs.Str("outcome", "untestable"),
+				obs.Int("frames", int64(frames)), obs.Int("sites", int64(len(sites[fi]))))
 			continue
 		}
 		res.Detected++
 		res.Vectors = append(res.Vectors, v)
+		col.EventSince("seq.fault", name, start,
+			obs.Str("outcome", "tested"),
+			obs.Int("frames", int64(frames)), obs.Int("sites", int64(len(sites[fi]))),
+			obs.Str("vector", v.String()))
 	}
 	return res, nil
 }

@@ -1,0 +1,73 @@
+// Package benchfmt defines the BENCH_obs.json benchmark-snapshot schema
+// shared by cmd/benchgen (which writes it) and cmd/benchdiff (which
+// compares two snapshots), plus the diff logic itself: per-metric deltas
+// with configurable regression thresholds.
+//
+// The schema is append-only: fields may be added but existing JSON tags
+// must never change, so snapshots committed as CI baselines stay
+// loadable across PRs.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Run is one timed ATPG configuration (free or constrained) with the
+// headline obs figures benchdiff compares across snapshots.
+type Run struct {
+	CPUNs         int64   `json:"cpu_ns"`
+	Vectors       int     `json:"vectors"`
+	Untestable    int     `json:"untestable"`
+	VectorsPerSec float64 `json:"vectors_per_sec"`
+	ITEHitRate    float64 `json:"ite_hit_rate"`
+	UniqueHitRate float64 `json:"unique_hit_rate"`
+	PeakNodes     int64   `json:"peak_nodes"`
+	NodesAlloc    int64   `json:"nodes_alloc"`
+	FaultP50Ns    float64 `json:"fault_p50_ns"`
+	FaultP99Ns    float64 `json:"fault_p99_ns"`
+	// Snapshot is the run's full obs snapshot, for drill-down.
+	Snapshot *obs.Snapshot `json:"snapshot"`
+}
+
+// Circuit is the per-circuit record of a benchmark snapshot.
+type Circuit struct {
+	Circuit     string `json:"circuit"`
+	Faults      int    `json:"faults"`
+	Free        *Run   `json:"free"`
+	Constrained *Run   `json:"constrained"`
+}
+
+// Report is the top-level BENCH_obs.json document.
+type Report struct {
+	GeneratedAt time.Time `json:"generated_at"`
+	GoVersion   string    `json:"go_version,omitempty"`
+	Circuits    []Circuit `json:"circuits"`
+}
+
+// Load reads a BENCH_obs.json snapshot from disk.
+func Load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchfmt: parsing %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// circuit returns the named circuit record, or nil.
+func (r *Report) circuit(name string) *Circuit {
+	for i := range r.Circuits {
+		if r.Circuits[i].Circuit == name {
+			return &r.Circuits[i]
+		}
+	}
+	return nil
+}

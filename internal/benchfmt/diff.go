@@ -1,0 +1,221 @@
+package benchfmt
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// Thresholds bounds how much each metric family may degrade between two
+// snapshots before the delta counts as a regression. The zero value
+// regresses on any degradation; use Defaults for the CI settings.
+type Thresholds struct {
+	// LatencySlack is the tolerated relative increase in time-like
+	// metrics (cpu_ns, fault_p50_ns, fault_p99_ns): 0.10 allows +10%.
+	LatencySlack float64
+	// HitRateSlack is the tolerated absolute drop, in points in [0,1],
+	// of the BDD cache hit rates: 0.02 allows a 2-point drop.
+	HitRateSlack float64
+	// NodesSlack is the tolerated relative increase in node metrics
+	// (peak_nodes, nodes_alloc).
+	NodesSlack float64
+	// CountsMustMatch flags vector/untestable count changes as
+	// regressions — a count change means the generator's behaviour,
+	// not just its speed, moved.
+	CountsMustMatch bool
+}
+
+// Defaults are the CI thresholds: +10% latency, −2 points hit rate,
+// +15% nodes, counts must match.
+func Defaults() Thresholds {
+	return Thresholds{
+		LatencySlack:    0.10,
+		HitRateSlack:    0.02,
+		NodesSlack:      0.15,
+		CountsMustMatch: true,
+	}
+}
+
+// Delta is one metric's movement between the old and new snapshot.
+type Delta struct {
+	Circuit   string  `json:"circuit"`
+	Config    string  `json:"config"` // "free" or "constrained"
+	Metric    string  `json:"metric"`
+	Old       float64 `json:"old"`
+	New       float64 `json:"new"`
+	Change    string  `json:"change"` // human-formatted movement
+	Regressed bool    `json:"regressed"`
+}
+
+// metricKind drives formatting and the regression rule per metric.
+type metricKind int
+
+const (
+	kindLatency    metricKind = iota // higher is worse, relative slack
+	kindRate                         // lower is worse, absolute points
+	kindNodes                        // higher is worse, relative slack
+	kindThroughput                   // lower is worse, relative slack
+	kindCount                        // any change is suspect
+)
+
+type metricDef struct {
+	name string
+	kind metricKind
+	get  func(*Run) float64
+}
+
+var metrics = []metricDef{
+	{"cpu_ns", kindLatency, func(r *Run) float64 { return float64(r.CPUNs) }},
+	{"fault_p50_ns", kindLatency, func(r *Run) float64 { return r.FaultP50Ns }},
+	{"fault_p99_ns", kindLatency, func(r *Run) float64 { return r.FaultP99Ns }},
+	{"vectors_per_sec", kindThroughput, func(r *Run) float64 { return r.VectorsPerSec }},
+	{"ite_hit_rate", kindRate, func(r *Run) float64 { return r.ITEHitRate }},
+	{"unique_hit_rate", kindRate, func(r *Run) float64 { return r.UniqueHitRate }},
+	{"peak_nodes", kindNodes, func(r *Run) float64 { return float64(r.PeakNodes) }},
+	{"nodes_alloc", kindNodes, func(r *Run) float64 { return float64(r.NodesAlloc) }},
+	{"vectors", kindCount, func(r *Run) float64 { return float64(r.Vectors) }},
+	{"untestable", kindCount, func(r *Run) float64 { return float64(r.Untestable) }},
+}
+
+// regressed applies the threshold rule for one metric kind.
+func (th Thresholds) regressed(kind metricKind, oldV, newV float64) bool {
+	switch kind {
+	case kindLatency:
+		return oldV > 0 && newV > oldV*(1+th.LatencySlack)
+	case kindNodes:
+		return oldV > 0 && newV > oldV*(1+th.NodesSlack)
+	case kindThroughput:
+		return oldV > 0 && newV < oldV*(1-th.LatencySlack)
+	case kindRate:
+		return newV < oldV-th.HitRateSlack
+	case kindCount:
+		return th.CountsMustMatch && newV != oldV
+	}
+	return false
+}
+
+// change renders the movement in the metric's natural unit.
+func change(kind metricKind, oldV, newV float64) string {
+	switch kind {
+	case kindRate:
+		return fmt.Sprintf("%+.2f pts", 100*(newV-oldV))
+	case kindCount:
+		return fmt.Sprintf("%+d", int64(newV-oldV))
+	default:
+		if oldV == 0 {
+			if newV == 0 {
+				return "±0%"
+			}
+			return "new"
+		}
+		return fmt.Sprintf("%+.1f%%", 100*(newV-oldV)/oldV)
+	}
+}
+
+// value renders a metric value for the table.
+func value(kind metricKind, v float64) string {
+	switch kind {
+	case kindRate:
+		return fmt.Sprintf("%.2f%%", 100*v)
+	case kindCount:
+		return fmt.Sprintf("%d", int64(v))
+	case kindNodes:
+		return fmt.Sprintf("%d", int64(v))
+	case kindLatency:
+		return fmtDurationNs(v)
+	default:
+		return fmt.Sprintf("%.1f", v)
+	}
+}
+
+// fmtDurationNs renders nanoseconds at a readable scale.
+func fmtDurationNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+// diffRun emits one Delta per metric for a matched pair of runs.
+func diffRun(circuit, config string, oldR, newR *Run, th Thresholds) []Delta {
+	if oldR == nil || newR == nil {
+		return nil
+	}
+	out := make([]Delta, 0, len(metrics))
+	for _, m := range metrics {
+		ov, nv := m.get(oldR), m.get(newR)
+		out = append(out, Delta{
+			Circuit:   circuit,
+			Config:    config,
+			Metric:    m.name,
+			Old:       ov,
+			New:       nv,
+			Change:    change(m.kind, ov, nv),
+			Regressed: th.regressed(m.kind, ov, nv),
+		})
+	}
+	return out
+}
+
+// Diff compares two snapshots circuit-by-circuit and returns the full
+// per-metric delta list. Circuits present in only one snapshot are
+// skipped — the comparison covers the intersection.
+func Diff(oldRep, newRep *Report, th Thresholds) []Delta {
+	var out []Delta
+	for i := range newRep.Circuits {
+		nc := &newRep.Circuits[i]
+		oc := oldRep.circuit(nc.Circuit)
+		if oc == nil {
+			continue
+		}
+		out = append(out, diffRun(nc.Circuit, "free", oc.Free, nc.Free, th)...)
+		out = append(out, diffRun(nc.Circuit, "constrained", oc.Constrained, nc.Constrained, th)...)
+	}
+	return out
+}
+
+// AnyRegressed reports whether any delta crossed its threshold.
+func AnyRegressed(deltas []Delta) bool {
+	for _, d := range deltas {
+		if d.Regressed {
+			return true
+		}
+	}
+	return false
+}
+
+// kindOf resolves a metric name back to its kind for formatting.
+func kindOf(name string) metricKind {
+	for _, m := range metrics {
+		if m.name == name {
+			return m.kind
+		}
+	}
+	return kindThroughput
+}
+
+// WriteTable renders the deltas as an aligned table. When onlyChanged
+// is true, rows whose value did not move are suppressed.
+func WriteTable(w io.Writer, deltas []Delta, onlyChanged bool) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "CIRCUIT\tCONFIG\tMETRIC\tOLD\tNEW\tCHANGE\tSTATUS")
+	for _, d := range deltas {
+		if onlyChanged && d.Old == d.New {
+			continue
+		}
+		status := "ok"
+		if d.Regressed {
+			status = "REGRESSED"
+		}
+		k := kindOf(d.Metric)
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			d.Circuit, d.Config, d.Metric, value(k, d.Old), value(k, d.New), d.Change, status)
+	}
+	return tw.Flush()
+}

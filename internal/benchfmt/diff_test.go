@@ -1,0 +1,155 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// run builds a Run with the given headline figures.
+func run(cpuNs int64, p99 float64, iteHit float64, peak int64, vectors int) *Run {
+	return &Run{
+		CPUNs:         cpuNs,
+		Vectors:       vectors,
+		VectorsPerSec: float64(vectors) / (float64(cpuNs) / 1e9),
+		ITEHitRate:    iteHit,
+		UniqueHitRate: iteHit,
+		PeakNodes:     peak,
+		NodesAlloc:    peak * 2,
+		FaultP50Ns:    p99 / 2,
+		FaultP99Ns:    p99,
+	}
+}
+
+func report(r *Run) *Report {
+	return &Report{Circuits: []Circuit{{Circuit: "c880", Faults: 100, Free: r}}}
+}
+
+func find(t *testing.T, deltas []Delta, metric string) Delta {
+	t.Helper()
+	for _, d := range deltas {
+		if d.Metric == metric {
+			return d
+		}
+	}
+	t.Fatalf("no delta for metric %q", metric)
+	return Delta{}
+}
+
+func TestDiffNoRegression(t *testing.T) {
+	oldRep := report(run(1e9, 5e6, 0.80, 10000, 42))
+	// 5% slower, hit rate up, nodes flat — all inside Defaults.
+	newRep := report(run(105e7, 5.2e6, 0.82, 10000, 42))
+	deltas := Diff(oldRep, newRep, Defaults())
+	if AnyRegressed(deltas) {
+		for _, d := range deltas {
+			if d.Regressed {
+				t.Errorf("unexpected regression: %+v", d)
+			}
+		}
+	}
+}
+
+func TestDiffLatencyRegression(t *testing.T) {
+	oldRep := report(run(1e9, 5e6, 0.80, 10000, 42))
+	// p99 +40% crosses the 10% slack; cpu within slack.
+	newRep := report(run(1.05e9, 7e6, 0.80, 10000, 42))
+	deltas := Diff(oldRep, newRep, Defaults())
+	if !find(t, deltas, "fault_p99_ns").Regressed {
+		t.Error("p99 +40% should regress at 10% slack")
+	}
+	if find(t, deltas, "cpu_ns").Regressed {
+		t.Error("cpu +5% should not regress at 10% slack")
+	}
+	if !AnyRegressed(deltas) {
+		t.Error("AnyRegressed should be true")
+	}
+}
+
+func TestDiffHitRateRegression(t *testing.T) {
+	oldRep := report(run(1e9, 5e6, 0.80, 10000, 42))
+	newRep := report(run(1e9, 5e6, 0.75, 10000, 42)) // −5 points
+	deltas := Diff(oldRep, newRep, Defaults())
+	d := find(t, deltas, "ite_hit_rate")
+	if !d.Regressed {
+		t.Error("hit rate −5 pts should regress at 2-point slack")
+	}
+	if !strings.Contains(d.Change, "-5.00 pts") {
+		t.Errorf("change = %q, want -5.00 pts", d.Change)
+	}
+}
+
+func TestDiffNodesRegression(t *testing.T) {
+	oldRep := report(run(1e9, 5e6, 0.80, 10000, 42))
+	newRep := report(run(1e9, 5e6, 0.80, 12000, 42)) // +20%
+	deltas := Diff(oldRep, newRep, Defaults())
+	if !find(t, deltas, "peak_nodes").Regressed {
+		t.Error("peak nodes +20% should regress at 15% slack")
+	}
+}
+
+func TestDiffCountChange(t *testing.T) {
+	oldRep := report(run(1e9, 5e6, 0.80, 10000, 42))
+	newRep := report(run(1e9, 5e6, 0.80, 10000, 43))
+	strict := Defaults()
+	if !find(t, Diff(oldRep, newRep, strict), "vectors").Regressed {
+		t.Error("vector count change should regress with CountsMustMatch")
+	}
+	strict.CountsMustMatch = false
+	if find(t, Diff(oldRep, newRep, strict), "vectors").Regressed {
+		t.Error("vector count change should pass without CountsMustMatch")
+	}
+}
+
+func TestDiffSkipsUnmatchedCircuits(t *testing.T) {
+	oldRep := report(run(1e9, 5e6, 0.80, 10000, 42))
+	newRep := &Report{Circuits: []Circuit{{Circuit: "c432", Free: run(1e9, 5e6, 0.8, 1, 1)}}}
+	if deltas := Diff(oldRep, newRep, Defaults()); len(deltas) != 0 {
+		t.Errorf("disjoint snapshots should produce no deltas, got %d", len(deltas))
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	oldRep := report(run(1e9, 5e6, 0.80, 10000, 42))
+	newRep := report(run(1e9, 7e6, 0.80, 10000, 42))
+	deltas := Diff(oldRep, newRep, Defaults())
+	var sb strings.Builder
+	if err := WriteTable(&sb, deltas, true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "fault_p99_ns") || !strings.Contains(out, "REGRESSED") {
+		t.Errorf("table missing regressed p99 row:\n%s", out)
+	}
+	// onlyChanged suppresses the flat cpu_ns row.
+	if strings.Contains(out, "cpu_ns") {
+		t.Errorf("unchanged cpu_ns row should be suppressed:\n%s", out)
+	}
+	if !strings.Contains(out, "5.0ms") || !strings.Contains(out, "7.0ms") {
+		t.Errorf("latency values should render in ms:\n%s", out)
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	rep := report(run(1e9, 5e6, 0.80, 10000, 42))
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Circuits) != 1 || got.Circuits[0].Circuit != "c880" || got.Circuits[0].Free.Vectors != 42 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("Load of missing file should error")
+	}
+}

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"strings"
+	"time"
 
 	"repro/internal/adc"
 	"repro/internal/analog"
@@ -35,10 +37,12 @@ type ElementTest struct {
 // reported untestable through the mixed circuit.
 func (mx *Mixed) TestAnalogElement(p *Propagator, matrix *analog.Matrix, elem string, bound Bound) (ElementTest, error) {
 	defer obs.Default.StartSpan("core.element_test").End()
+	start := time.Now()
 	res := ElementTest{Element: elem, Bound: bound}
 	order := matrix.ParamsFor(elem)
 	if len(order) == 0 {
 		res.Reason = "unobservable"
+		emitElementEvent(start, res)
 		return res, nil
 	}
 	for _, j := range order {
@@ -68,11 +72,32 @@ func (mx *Mixed) TestAnalogElement(p *Propagator, matrix *analog.Matrix, elem st
 			res.Act = act
 			res.Prop = prop
 			res.Testable = true
+			emitElementEvent(start, res)
 			return res, nil
 		}
 	}
 	res.Reason = "unpropagatable"
+	emitElementEvent(start, res)
 	return res, nil
+}
+
+// emitElementEvent records one "element" event: the per-work-item record
+// of the analog flow (ED bound, covering parameter, Table 1 activation
+// stimulus, toggling comparator) consumed by the run report.
+func emitElementEvent(start time.Time, res ElementTest) {
+	if res.Testable {
+		obs.Default.EventSince("element", res.Element, start,
+			obs.Str("outcome", "testable"),
+			obs.Float("ed", res.ED),
+			obs.Str("param", res.Param),
+			obs.Str("stim", res.Act.Stim.String()),
+			obs.Int("comparator", int64(res.Act.Target)),
+			obs.Str("outputs", strings.Join(res.Prop.Outputs, " ")))
+		return
+	}
+	obs.Default.EventSince("element", res.Element, start,
+		obs.Str("outcome", "untestable"),
+		obs.Str("reason", res.Reason))
 }
 
 func indexOf(xs []string, x string) int {
@@ -100,12 +125,14 @@ type PropagationCensus struct {
 }
 
 // CensusPropagation probes every comparator position with both composite
-// polarities on the adjacent-thermometer background.
+// polarities on the adjacent-thermometer background. Each probe leaves
+// one "comparator" event recording which directions are blocked.
 func (mx *Mixed) CensusPropagation(p *Propagator) (*PropagationCensus, error) {
 	defer obs.Default.StartSpan("core.census").End()
 	n := mx.Conv.NumComparators()
 	out := &PropagationCensus{AllowedEither: map[int]bool{}}
 	for k := 1; k <= n; k++ {
+		start := time.Now()
 		okLow := false
 		okHigh := false
 		if _, ok, err := p.Propagate(ComparatorPattern(n, k, waveform.D)); err != nil {
@@ -127,6 +154,10 @@ func (mx *Mixed) CensusPropagation(p *Propagator) (*PropagationCensus, error) {
 		if okLow || okHigh {
 			out.AllowedEither[k] = true
 		}
+		obs.Default.EventSince("comparator", fmt.Sprintf("c%d", k), start,
+			obs.Int("comparator", int64(k)),
+			obs.Bool("blocked_low", !okLow),
+			obs.Bool("blocked_high", !okHigh))
 	}
 	return out, nil
 }

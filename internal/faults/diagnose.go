@@ -5,6 +5,14 @@ import (
 	"sort"
 
 	"repro/internal/logic"
+	"repro/internal/obs"
+)
+
+// Diagnosis counters, resolved once against the process-wide collector.
+var (
+	cDictBuilds    = obs.Default.Counter("faults.dict.builds")
+	cDictEntries   = obs.Default.Counter("faults.dict.entries")
+	cDiagnoseCalls = obs.Default.Counter("faults.diagnose.calls")
 )
 
 // Signature is a fault's full-response signature over a vector set: for
@@ -51,6 +59,9 @@ type Dictionary struct {
 // primary outputs are rejected (one word per vector keeps the dictionary
 // compact).
 func BuildDictionary(c *logic.Circuit, vectors []Vector, fs []Fault) (*Dictionary, error) {
+	defer obs.Default.StartSpan("faults.build_dictionary").End()
+	cDictBuilds.Inc()
+	cDictEntries.Add(int64(len(fs)))
 	if len(c.Outputs()) > 64 {
 		return nil, fmt.Errorf("faults: dictionary supports ≤64 outputs, circuit has %d", len(c.Outputs()))
 	}
@@ -116,6 +127,7 @@ func (d *Dictionary) Faults() []Fault { return d.faults }
 // observed one, sorted by fault index — the candidate ambiguity set. An
 // all-zero observation returns nil (nothing failed).
 func (d *Dictionary) Diagnose(observed Signature) []Fault {
+	cDiagnoseCalls.Inc()
 	if observed.IsZero() {
 		return nil
 	}

@@ -4,6 +4,16 @@ import (
 	"fmt"
 
 	"repro/internal/logic"
+	"repro/internal/obs"
+)
+
+// Simulation counters, resolved once against the process-wide collector.
+// A "batch" is one 64-vector-wide parallel pass over the pending fault
+// list — the unit of fault-simulation work.
+var (
+	cSimCalls    = obs.Default.Counter("faults.sim.calls")
+	cSimBatches  = obs.Default.Counter("faults.sim.batches")
+	cSimDetected = obs.Default.Counter("faults.sim.detected")
 )
 
 // Vector is one fully specified input pattern, aligned with the circuit's
@@ -78,6 +88,7 @@ func (s *Simulator) packWords(vectors []Vector, base int) ([]uint64, int) {
 // each fault, the index of the first detecting vector, or -1 if none
 // detects it. Detected faults are dropped from further batches.
 func (s *Simulator) Detect(vectors []Vector, fs []Fault) []int {
+	cSimCalls.Inc()
 	res := make([]int, len(fs))
 	for i := range res {
 		res[i] = -1
@@ -87,6 +98,7 @@ func (s *Simulator) Detect(vectors []Vector, fs []Fault) []int {
 		remaining[i] = i
 	}
 	for base := 0; base < len(vectors) && len(remaining) > 0; base += 64 {
+		cSimBatches.Inc()
 		words, n := s.packWords(vectors, base)
 		mask := ^uint64(0)
 		if n < 64 {
@@ -102,6 +114,7 @@ func (s *Simulator) Detect(vectors []Vector, fs []Fault) []int {
 				diff |= (good[o] ^ bad[o]) & mask
 			}
 			if diff != 0 {
+				cSimDetected.Inc()
 				// Lowest set bit = first detecting vector in this batch.
 				bit := 0
 				for diff&1 == 0 {

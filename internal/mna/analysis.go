@@ -158,8 +158,9 @@ func stampAdmittance(addA func(r, c int, v complex128), ia, ib int, y complex128
 // AC count is the pipeline's unit of analog work: every gain, sweep, ED
 // search and Monte Carlo sample funnels through here.
 var (
-	cSolvesDC = obs.Default.Counter("mna.solves.dc")
-	cSolvesAC = obs.Default.Counter("mna.solves.ac")
+	cSolvesDC  = obs.Default.Counter("mna.solves.dc")
+	cSolvesAC  = obs.Default.Counter("mna.solves.ac")
+	hSolveSize = obs.Default.Histogram("mna.solve.size")
 )
 
 // solve runs the analysis at angular frequency omega.
@@ -170,6 +171,7 @@ func (c *Circuit) solve(omega, freq float64) (*Solution, error) {
 		cSolvesAC.Inc()
 	}
 	a, b, nNodes := c.assemble(omega)
+	hSolveSize.Observe(int64(len(b)))
 	x, err := numeric.SolveComplex(a, b)
 	if err != nil {
 		return nil, fmt.Errorf("mna: circuit %q at f=%g Hz: %w", c.name, freq, err)

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files with current output")
+
+// goldenSnapshot is a hand-built, fully deterministic snapshot used by
+// the export golden tests: no clocks, fixed offsets.
+func goldenSnapshot() *Snapshot {
+	return &Snapshot{
+		Spans: []SpanRecord{
+			{Name: "phase.analog", StartNs: 1000, DurNs: 500000},
+			{Name: "atpg.run", StartNs: 600000, DurNs: 250000},
+		},
+		Events: []Event{
+			{Kind: "fault", Name: "l3 s-a-0", TimeNs: 610000, DurNs: 120000,
+				Attrs: []Attr{Str("outcome", "tested"), Int("product_nodes", 7), Str("vector", "0011")}},
+			{Kind: "fault", Name: "l0 s-a-1", TimeNs: 740000, DurNs: 90000,
+				Attrs: []Attr{Str("outcome", "constrained-out")}},
+			{Kind: "comparator", Name: "c1", TimeNs: 550000,
+				Attrs: []Attr{Bool("blocked_low", false), Bool("blocked_high", true)}},
+		},
+	}
+}
+
+// checkGolden compares got against testdata/<name>, rewriting the file
+// under -update-golden.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (rerun with -update-golden): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from golden %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenSnapshot().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "chrome_trace.golden.json", buf.Bytes())
+}
+
+// TestChromeTraceShape validates the structural contract Perfetto needs:
+// a traceEvents array whose entries all carry name/ph/ts/pid/tid, spans
+// as complete slices, instant events with a scope.
+func TestChromeTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenSnapshot().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	// 3 metadata + 2 spans + 3 events.
+	if len(doc.TraceEvents) != 8 {
+		t.Fatalf("traceEvents = %d entries, want 8", len(doc.TraceEvents))
+	}
+	phases := map[string]int{}
+	for _, te := range doc.TraceEvents {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := te[key]; !ok {
+				t.Errorf("trace event missing %q: %v", key, te)
+			}
+		}
+		ph := te["ph"].(string)
+		phases[ph]++
+		switch ph {
+		case "X":
+			if _, ok := te["dur"]; !ok {
+				t.Errorf("complete event without dur: %v", te)
+			}
+		case "i":
+			if te["s"] != "t" {
+				t.Errorf("instant event without thread scope: %v", te)
+			}
+		}
+	}
+	if phases["M"] != 3 || phases["X"] != 4 || phases["i"] != 1 {
+		t.Errorf("phase census = %v, want M:3 X:4 i:1", phases)
+	}
+	// Span timestamps are microseconds: 600000 ns → 600 µs.
+	for _, te := range doc.TraceEvents {
+		if te["name"] == "atpg.run" {
+			if ts := te["ts"].(float64); ts != 600 {
+				t.Errorf("atpg.run ts = %g µs, want 600", ts)
+			}
+		}
+	}
+}

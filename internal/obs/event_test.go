@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEventBasics(t *testing.T) {
+	c := NewCollector()
+	c.Event("fault", "l3 s-a-0",
+		Str("outcome", "tested"), Int("product_nodes", 42), Float("ed", 0.101), Bool("ok", true))
+	evs := c.Events()
+	if len(evs) != 1 {
+		t.Fatalf("events = %d, want 1", len(evs))
+	}
+	ev := evs[0]
+	if ev.Kind != "fault" || ev.Name != "l3 s-a-0" {
+		t.Errorf("event identity wrong: %+v", ev)
+	}
+	if ev.Attr("outcome") != "tested" || ev.Attr("product_nodes") != "42" ||
+		ev.Attr("ed") != "0.101" || ev.Attr("ok") != "true" {
+		t.Errorf("attrs wrong: %+v", ev.Attrs)
+	}
+	if ev.Attr("absent") != "" {
+		t.Error("absent attr should read empty")
+	}
+	if ev.TimeNs < 0 {
+		t.Errorf("TimeNs = %d, want >= 0", ev.TimeNs)
+	}
+}
+
+func TestEventSinceCarriesDuration(t *testing.T) {
+	c := NewCollector()
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	c.EventSince("element", "R1", start, Str("outcome", "testable"))
+	ev := c.Events()[0]
+	if ev.DurNs <= 0 {
+		t.Errorf("DurNs = %d, want > 0", ev.DurNs)
+	}
+}
+
+func TestEventRingOverwritesOldest(t *testing.T) {
+	c := NewCollector(WithMaxEvents(4))
+	for i := int64(0); i < 10; i++ {
+		c.Event("k", "e", Int("i", i))
+	}
+	evs := c.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained = %d, want 4", len(evs))
+	}
+	// Ring keeps the most recent four, oldest first.
+	for j, want := range []string{"6", "7", "8", "9"} {
+		if got := evs[j].Attr("i"); got != want {
+			t.Errorf("event %d = i:%s, want i:%s", j, got, want)
+		}
+	}
+	if got := c.EventsDropped(); got != 6 {
+		t.Errorf("dropped = %d, want 6", got)
+	}
+	s := c.Snapshot()
+	if len(s.Events) != 4 || s.EventsDropped != 6 {
+		t.Errorf("snapshot events = %d dropped = %d, want 4/6", len(s.Events), s.EventsDropped)
+	}
+}
+
+func TestEventNilCollector(t *testing.T) {
+	var c *Collector
+	c.Event("k", "n")
+	c.EventSince("k", "n", time.Now())
+	if evs := c.Events(); evs != nil {
+		t.Errorf("nil collector events = %v", evs)
+	}
+	if d := c.EventsDropped(); d != 0 {
+		t.Errorf("nil collector dropped = %d", d)
+	}
+}
+
+func TestSnapshotSubWindowsEvents(t *testing.T) {
+	c := NewCollector()
+	c.Event("k", "early")
+	before := c.Snapshot()
+	time.Sleep(time.Millisecond)
+	c.Event("k", "late")
+	delta := c.Snapshot().Sub(before)
+	if len(delta.Events) != 1 || delta.Events[0].Name != "late" {
+		t.Errorf("delta events = %+v, want only 'late'", delta.Events)
+	}
+}
+
+// TestEventConcurrent exercises the ring from many goroutines; run with
+// -race (CI does).
+func TestEventConcurrent(t *testing.T) {
+	c := NewCollector(WithMaxEvents(128))
+	const workers, each = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Event("k", "n", Int("i", int64(i)))
+			}
+		}()
+	}
+	wg.Wait()
+	evs, dropped := c.events.events()
+	if len(evs) != 128 {
+		t.Errorf("retained = %d, want 128", len(evs))
+	}
+	if total := int64(len(evs)) + dropped; total != workers*each {
+		t.Errorf("total events = %d, want %d", total, workers*each)
+	}
+}

@@ -1,14 +1,42 @@
 package obs
 
-import "expvar"
+import (
+	"expvar"
+	"sync"
+)
+
+// expvarMu guards the name → collector registry behind the published
+// expvar funcs. Publishing the same expvar name twice panics (expvar's
+// contract), so PublishExpvar registers each name at most once and later
+// calls merely swap the collector the published func reads — making the
+// bridge idempotent per name even when several packages (or tests)
+// publish independently.
+var (
+	expvarMu   sync.Mutex
+	expvarCols = map[string]*Collector{}
+)
 
 // PublishExpvar exposes the collector's live snapshot under the given
 // expvar name, so an http server that imports net/http/pprof (which pulls
 // in expvar's /debug/vars handler) serves the obs counters alongside the
-// profiles. Publishing an already-published name panics (expvar's
-// contract), so call this once per process per name.
+// profiles. Safe to call repeatedly with the same name: the first call
+// publishes, subsequent calls retarget the published name at the new
+// collector. If the name is already taken by a foreign expvar (published
+// outside this bridge), the call is a no-op rather than a panic.
 func PublishExpvar(name string, c *Collector) {
-	expvar.Publish(name, expvar.Func(func() any {
-		return c.Snapshot()
-	}))
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if _, ours := expvarCols[name]; !ours {
+		if expvar.Get(name) != nil {
+			return // foreign variable owns the name; don't panic, don't hijack
+		}
+		n := name
+		expvar.Publish(n, expvar.Func(func() any {
+			expvarMu.Lock()
+			col := expvarCols[n]
+			expvarMu.Unlock()
+			return col.Snapshot()
+		}))
+	}
+	expvarCols[name] = c
 }

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"expvar"
+	"strings"
+	"testing"
+)
+
+// TestPublishExpvarIdempotent is the regression test for the duplicate-
+// Publish panic: registering a second collector under the same name must
+// not panic, and must retarget the published variable at the new
+// collector.
+func TestPublishExpvarIdempotent(t *testing.T) {
+	a := NewCollector()
+	a.Counter("x").Add(1)
+	b := NewCollector()
+	b.Counter("x").Add(2)
+
+	PublishExpvar("obs_test_idempotent", a)
+	PublishExpvar("obs_test_idempotent", b) // must not panic
+
+	v := expvar.Get("obs_test_idempotent")
+	if v == nil {
+		t.Fatal("expvar not published")
+	}
+	if got := v.String(); !strings.Contains(got, `"x": 2`) && !strings.Contains(got, `"x":2`) {
+		t.Errorf("published snapshot reads the old collector: %s", got)
+	}
+}
+
+// TestPublishExpvarForeignName verifies the bridge refuses to panic (or
+// hijack) when the name is already owned by a non-obs expvar.
+func TestPublishExpvarForeignName(t *testing.T) {
+	foreign := expvar.NewInt("obs_test_foreign")
+	foreign.Set(99)
+	PublishExpvar("obs_test_foreign", NewCollector()) // must be a no-op
+	if got := expvar.Get("obs_test_foreign").String(); got != "99" {
+		t.Errorf("foreign expvar overwritten: %s", got)
+	}
+}

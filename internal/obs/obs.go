@@ -87,12 +87,15 @@ func (g *Gauge) Load() int64 {
 	return atomic.LoadInt64(&g.v)
 }
 
-// Collector owns a named set of metrics and a span log. Metric handles
-// are interned: asking twice for the same name returns the same handle,
-// so collectors can be shared across layers and runs. All methods are
-// safe for concurrent use; a nil *Collector is a valid no-op collector.
+// Collector owns a named set of metrics, a span log and an event log.
+// Metric handles are interned: asking twice for the same name returns
+// the same handle, so collectors can be shared across layers and runs.
+// All methods are safe for concurrent use; a nil *Collector is a valid
+// no-op collector.
 type Collector struct {
-	epoch time.Time
+	epoch    time.Time
+	maxSpans int
+	events   *EventLog
 
 	mu         sync.Mutex
 	counters   map[string]*Counter
@@ -102,18 +105,48 @@ type Collector struct {
 	spansDrop  int64
 }
 
-// maxSpans bounds the span log so always-on tracing cannot grow without
-// limit; spans beyond the cap are counted, not stored.
-const maxSpans = 8192
+// DefaultMaxSpans bounds the span log so always-on tracing cannot grow
+// without limit; spans beyond the cap are counted, not stored. Override
+// per collector with WithMaxSpans.
+const DefaultMaxSpans = 8192
+
+// CollectorOption configures a Collector at construction.
+type CollectorOption func(*Collector)
+
+// WithMaxSpans sets the span-log cap (non-positive keeps the default).
+func WithMaxSpans(n int) CollectorOption {
+	return func(c *Collector) {
+		if n > 0 {
+			c.maxSpans = n
+		}
+	}
+}
+
+// WithMaxEvents sets the event-ring capacity (non-positive keeps the
+// default). The ring keeps the most recent events; overwritten ones are
+// counted in the snapshot's EventsDropped field.
+func WithMaxEvents(n int) CollectorOption {
+	return func(c *Collector) {
+		if n > 0 {
+			c.events = newEventLog(n)
+		}
+	}
+}
 
 // NewCollector returns an empty, enabled collector.
-func NewCollector() *Collector {
-	return &Collector{
+func NewCollector(opts ...CollectorOption) *Collector {
+	c := &Collector{
 		epoch:      time.Now(),
+		maxSpans:   DefaultMaxSpans,
+		events:     newEventLog(DefaultMaxEvents),
 		counters:   map[string]*Counter{},
 		gauges:     map[string]*Gauge{},
 		histograms: map[string]*Histogram{},
 	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
 // Default is the process-wide collector the pipeline reports to unless a

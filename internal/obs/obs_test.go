@@ -205,13 +205,30 @@ func TestConcurrentUpdates(t *testing.T) {
 
 func TestSpanCap(t *testing.T) {
 	c := NewCollector()
-	for i := 0; i < maxSpans+10; i++ {
+	for i := 0; i < DefaultMaxSpans+10; i++ {
 		c.StartSpan("s").End()
 	}
-	if got := len(c.Spans()); got != maxSpans {
-		t.Errorf("span log length = %d, want %d", got, maxSpans)
+	if got := len(c.Spans()); got != DefaultMaxSpans {
+		t.Errorf("span log length = %d, want %d", got, DefaultMaxSpans)
 	}
 	if got := c.SpansDropped(); got != 10 {
 		t.Errorf("dropped = %d, want 10", got)
+	}
+}
+
+func TestSpanCapConfigurable(t *testing.T) {
+	c := NewCollector(WithMaxSpans(4))
+	for i := 0; i < 10; i++ {
+		c.StartSpan("s").End()
+	}
+	if got := len(c.Spans()); got != 4 {
+		t.Errorf("span log length = %d, want 4", got)
+	}
+	if got := c.SpansDropped(); got != 6 {
+		t.Errorf("dropped = %d, want 6", got)
+	}
+	s := c.Snapshot()
+	if s.SpansDropped != 6 {
+		t.Errorf("snapshot SpansDropped = %d, want 6", s.SpansDropped)
 	}
 }

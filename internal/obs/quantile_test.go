@@ -1,0 +1,69 @@
+package obs
+
+import "testing"
+
+// TestQuantileEdgeCases pins the interpolation corner cases: an empty
+// histogram, a single observation, and all observations landing in one
+// bucket.
+func TestQuantileEdgeCases(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		var s HistogramSnapshot
+		for _, q := range []float64{0, 0.5, 1} {
+			if got := s.Quantile(q); got != 0 {
+				t.Errorf("empty Quantile(%g) = %g, want 0", q, got)
+			}
+		}
+	})
+
+	t.Run("single_sample", func(t *testing.T) {
+		h := &Histogram{}
+		h.Observe(100)
+		s := h.snapshot()
+		// 100 lives in the (64, 128] bucket; every quantile must stay
+		// inside it and never exceed the recorded max's bucket edge.
+		for _, q := range []float64{0, 0.25, 0.5, 1} {
+			got := s.Quantile(q)
+			if got < 64 || got > 128 {
+				t.Errorf("Quantile(%g) = %g, outside single bucket (64, 128]", q, got)
+			}
+		}
+	})
+
+	t.Run("all_in_one_bucket", func(t *testing.T) {
+		h := &Histogram{}
+		for i := 0; i < 1000; i++ {
+			h.Observe(100) // all in (64, 128]
+		}
+		s := h.snapshot()
+		p50, p99 := s.Quantile(0.5), s.Quantile(0.99)
+		if p50 < 64 || p50 > 128 || p99 < 64 || p99 > 128 {
+			t.Errorf("p50/p99 = %g/%g, outside the only populated bucket", p50, p99)
+		}
+		if p99 < p50 {
+			t.Errorf("quantiles not monotone: p50 %g > p99 %g", p50, p99)
+		}
+	})
+
+	t.Run("clamping", func(t *testing.T) {
+		h := &Histogram{}
+		h.Observe(10)
+		h.Observe(20)
+		s := h.snapshot()
+		if got := s.Quantile(-0.5); got != s.Quantile(0) {
+			t.Errorf("Quantile(-0.5) = %g, want clamp to Quantile(0) = %g", got, s.Quantile(0))
+		}
+		if got := s.Quantile(1.5); got != s.Quantile(1) {
+			t.Errorf("Quantile(1.5) = %g, want clamp to Quantile(1) = %g", got, s.Quantile(1))
+		}
+	})
+
+	t.Run("zero_bucket", func(t *testing.T) {
+		h := &Histogram{}
+		h.Observe(0)
+		h.Observe(-5)
+		s := h.snapshot()
+		if got := s.Quantile(0.5); got != 0 {
+			t.Errorf("all-nonpositive median = %g, want 0", got)
+		}
+	})
+}

@@ -12,14 +12,16 @@ import (
 // in [0, 1] is included, so consumers (and the acceptance criteria) read
 // cache hit rates directly from the JSON.
 type Snapshot struct {
-	TakenAt      time.Time                    `json:"taken_at"`
-	OffsetNs     int64                        `json:"offset_ns"` // time since collector epoch
-	Counters     map[string]int64             `json:"counters"`
-	Gauges       map[string]int64             `json:"gauges,omitempty"`
-	Derived      map[string]float64           `json:"derived,omitempty"`
-	Histograms   map[string]HistogramSnapshot `json:"histograms,omitempty"`
-	Spans        []SpanRecord                 `json:"spans,omitempty"`
-	SpansDropped int64                        `json:"spans_dropped,omitempty"`
+	TakenAt       time.Time                    `json:"taken_at"`
+	OffsetNs      int64                        `json:"offset_ns"` // time since collector epoch
+	Counters      map[string]int64             `json:"counters"`
+	Gauges        map[string]int64             `json:"gauges,omitempty"`
+	Derived       map[string]float64           `json:"derived,omitempty"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Spans         []SpanRecord                 `json:"spans,omitempty"`
+	SpansDropped  int64                        `json:"spans_dropped,omitempty"`
+	Events        []Event                      `json:"events,omitempty"`
+	EventsDropped int64                        `json:"events_dropped,omitempty"`
 }
 
 // Snapshot captures the collector's current state. Returns an empty
@@ -52,6 +54,7 @@ func (c *Collector) Snapshot() *Snapshot {
 	copy(s.Spans, c.spans)
 	s.SpansDropped = c.spansDrop
 	c.mu.Unlock()
+	s.Events, s.EventsDropped = c.events.events()
 
 	for n, ctr := range counters {
 		s.Counters[n] = ctr.Load()
@@ -123,6 +126,12 @@ func (s *Snapshot) Sub(prev *Snapshot) *Snapshot {
 			out.Spans = append(out.Spans, sp)
 		}
 	}
+	for _, ev := range s.Events {
+		if ev.TimeNs >= prev.OffsetNs {
+			out.Events = append(out.Events, ev)
+		}
+	}
+	out.EventsDropped = s.EventsDropped - prev.EventsDropped
 	out.derive()
 	return out
 }

@@ -32,8 +32,9 @@ func (c *Collector) StartSpan(name string) *Span {
 }
 
 // End closes the span and appends it to the collector's span log. The log
-// is capped at maxSpans; overflow is counted in the snapshot's
-// SpansDropped field rather than stored.
+// is capped at the collector's span cap (DefaultMaxSpans unless set with
+// WithMaxSpans); overflow is counted in the snapshot's SpansDropped field
+// rather than stored.
 func (s *Span) End() {
 	if s == nil {
 		return
@@ -45,7 +46,7 @@ func (s *Span) End() {
 		DurNs:   now.Sub(s.start).Nanoseconds(),
 	}
 	s.c.mu.Lock()
-	if len(s.c.spans) < maxSpans {
+	if len(s.c.spans) < s.c.maxSpans {
 		s.c.spans = append(s.c.spans, rec)
 	} else {
 		s.c.spansDrop++

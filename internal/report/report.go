@@ -1,0 +1,352 @@
+// Package report renders an instrumented pipeline run — an obs.Snapshot
+// with its per-work-item event log — into a structured run report:
+// per-fault outcomes with an untestability-reason histogram, per-element
+// analog results, the comparator census, headline engine metrics and the
+// top-N slowest faults. The report serialises to JSON (for machines and
+// the CI artifact) and to human-readable text.
+//
+// The event conventions the builder understands are the ones the
+// pipeline emits (documented in the README "Observability" section):
+//
+//	kind "fault"       one targeted stuck-at fault (atpg.Run)
+//	kind "element"     one analog element test (core.TestAnalogElement)
+//	kind "comparator"  one conversion-block census probe (core.CensusPropagation)
+//	kind "analog.ed"   one element row of the worst-case deviation matrix
+//	kind "seq.fault"   one sequential (time-frame-expanded) fault
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// DefaultTopSlowest is how many of the slowest faults a report keeps.
+const DefaultTopSlowest = 10
+
+// FaultRecord is one targeted fault distilled from its event.
+type FaultRecord struct {
+	Name         string `json:"name"`
+	Outcome      string `json:"outcome"`
+	LatencyNs    int64  `json:"latency_ns"`
+	ProductNodes int64  `json:"product_nodes,omitempty"` // OBDD size of S = ∂F/∂l·f_l·Fc
+	Vector       string `json:"vector,omitempty"`
+}
+
+// FaultSection summarises the digital stuck-at run.
+type FaultSection struct {
+	Total   int `json:"total"`
+	Tested  int `json:"tested"`
+	Dropped int `json:"dropped"`          // detected by an earlier vector, never targeted
+	Random  int `json:"random,omitempty"` // detected by the random phase
+	Aborted int `json:"aborted"`
+	// Untestable splits by reason: "constrained-out" (testable without
+	// Fc, killed by the conversion constraints) vs "no-difference" (no
+	// output ever differs). Reasons holds the histogram.
+	Untestable int            `json:"untestable"`
+	Reasons    map[string]int `json:"untestable_reasons,omitempty"`
+	Coverage   float64        `json:"coverage"`
+	P50Ns      float64        `json:"latency_p50_ns,omitempty"`
+	P99Ns      float64        `json:"latency_p99_ns,omitempty"`
+	Slowest    []FaultRecord  `json:"slowest,omitempty"`
+}
+
+// ElementRecord is one analog element test distilled from its event.
+type ElementRecord struct {
+	Name       string  `json:"name"`
+	Testable   bool    `json:"testable"`
+	Reason     string  `json:"reason,omitempty"`
+	ED         float64 `json:"ed,omitempty"`
+	Param      string  `json:"param,omitempty"`
+	Stimulus   string  `json:"stimulus,omitempty"`
+	Comparator int     `json:"comparator,omitempty"`
+	LatencyNs  int64   `json:"latency_ns,omitempty"`
+}
+
+// ElementSection summarises the analog element tests.
+type ElementSection struct {
+	Total    int             `json:"total"`
+	Testable int             `json:"testable"`
+	Reasons  map[string]int  `json:"untestable_reasons,omitempty"`
+	Elements []ElementRecord `json:"elements,omitempty"`
+}
+
+// ComparatorSection summarises the conversion-block census.
+type ComparatorSection struct {
+	Probed      int   `json:"probed"`
+	BlockedLow  []int `json:"blocked_low,omitempty"`
+	BlockedHigh []int `json:"blocked_high,omitempty"`
+}
+
+// Headline carries the engine-level figures a reader checks first.
+type Headline struct {
+	ITEHitRate    float64 `json:"ite_hit_rate,omitempty"`
+	UniqueHitRate float64 `json:"unique_hit_rate,omitempty"`
+	PeakNodes     int64   `json:"peak_nodes,omitempty"`
+	NodesAlloc    int64   `json:"nodes_alloc,omitempty"`
+	MNASolves     int64   `json:"mna_solves,omitempty"`
+	SpansDropped  int64   `json:"spans_dropped,omitempty"`
+	EventsDropped int64   `json:"events_dropped,omitempty"`
+}
+
+// Report is the structured rendering of one run.
+type Report struct {
+	GeneratedAt time.Time          `json:"generated_at"`
+	Faults      *FaultSection      `json:"faults,omitempty"`
+	Elements    *ElementSection    `json:"elements,omitempty"`
+	Comparators *ComparatorSection `json:"comparators,omitempty"`
+	Metrics     Headline           `json:"metrics"`
+}
+
+// Option configures Build.
+type Option func(*builder)
+
+type builder struct {
+	topN int
+}
+
+// WithTopSlowest sets how many slowest faults the report retains.
+func WithTopSlowest(n int) Option {
+	return func(b *builder) {
+		if n >= 0 {
+			b.topN = n
+		}
+	}
+}
+
+// Build distils a snapshot into a Report. Sections whose events are
+// absent from the snapshot are omitted.
+func Build(s *obs.Snapshot, opts ...Option) *Report {
+	b := builder{topN: DefaultTopSlowest}
+	for _, o := range opts {
+		o(&b)
+	}
+	r := &Report{
+		GeneratedAt: time.Now(),
+		Metrics: Headline{
+			ITEHitRate:    s.Derived["bdd.ite.hit_rate"],
+			UniqueHitRate: s.Derived["bdd.unique.hit_rate"],
+			PeakNodes:     s.Gauges["bdd.nodes.peak"],
+			NodesAlloc:    s.Counters["bdd.nodes.alloc"],
+			MNASolves:     s.Counters["mna.solves.dc"] + s.Counters["mna.solves.ac"],
+			SpansDropped:  s.SpansDropped,
+			EventsDropped: s.EventsDropped,
+		},
+	}
+	r.Faults = buildFaults(s, b.topN)
+	r.Elements = buildElements(s)
+	r.Comparators = buildComparators(s)
+	return r
+}
+
+func buildFaults(s *obs.Snapshot, topN int) *FaultSection {
+	var recs []FaultRecord
+	for _, ev := range s.Events {
+		if ev.Kind != "fault" {
+			continue
+		}
+		recs = append(recs, FaultRecord{
+			Name:         ev.Name,
+			Outcome:      ev.Attr("outcome"),
+			LatencyNs:    ev.DurNs,
+			ProductNodes: atoi(ev.Attr("product_nodes")),
+			Vector:       ev.Attr("vector"),
+		})
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	sec := &FaultSection{Total: len(recs), Reasons: map[string]int{}}
+	for _, rec := range recs {
+		switch rec.Outcome {
+		case "tested":
+			sec.Tested++
+		case "dropped":
+			sec.Dropped++
+		case "random":
+			sec.Random++
+		case "aborted":
+			sec.Aborted++
+		default: // an untestability reason: "constrained-out", "no-difference", ...
+			sec.Untestable++
+			sec.Reasons[rec.Outcome]++
+		}
+	}
+	if len(sec.Reasons) == 0 {
+		sec.Reasons = nil
+	}
+	if den := sec.Total - sec.Untestable; den > 0 {
+		sec.Coverage = float64(sec.Tested+sec.Dropped+sec.Random) / float64(den)
+	} else if sec.Total > 0 {
+		sec.Coverage = 1
+	}
+	if h, ok := s.Histograms["atpg.fault.latency_ns"]; ok {
+		sec.P50Ns = h.Quantile(0.5)
+		sec.P99Ns = h.Quantile(0.99)
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].LatencyNs > recs[j].LatencyNs })
+	if topN > len(recs) {
+		topN = len(recs)
+	}
+	// Dropped faults were never targeted and carry no latency; keep only
+	// timed records in the slowest table.
+	for _, rec := range recs[:topN] {
+		if rec.LatencyNs > 0 {
+			sec.Slowest = append(sec.Slowest, rec)
+		}
+	}
+	return sec
+}
+
+func buildElements(s *obs.Snapshot) *ElementSection {
+	var recs []ElementRecord
+	reasons := map[string]int{}
+	for _, ev := range s.Events {
+		if ev.Kind != "element" {
+			continue
+		}
+		rec := ElementRecord{
+			Name:       ev.Name,
+			Testable:   ev.Attr("outcome") == "testable",
+			Reason:     ev.Attr("reason"),
+			ED:         atof(ev.Attr("ed")),
+			Param:      ev.Attr("param"),
+			Stimulus:   ev.Attr("stim"),
+			Comparator: int(atoi(ev.Attr("comparator"))),
+			LatencyNs:  ev.DurNs,
+		}
+		if !rec.Testable && rec.Reason != "" {
+			reasons[rec.Reason]++
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	sec := &ElementSection{Total: len(recs), Elements: recs}
+	for _, rec := range recs {
+		if rec.Testable {
+			sec.Testable++
+		}
+	}
+	if len(reasons) > 0 {
+		sec.Reasons = reasons
+	}
+	return sec
+}
+
+func buildComparators(s *obs.Snapshot) *ComparatorSection {
+	sec := &ComparatorSection{}
+	for _, ev := range s.Events {
+		if ev.Kind != "comparator" {
+			continue
+		}
+		sec.Probed++
+		k := int(atoi(ev.Attr("comparator")))
+		if ev.Attr("blocked_low") == "true" {
+			sec.BlockedLow = append(sec.BlockedLow, k)
+		}
+		if ev.Attr("blocked_high") == "true" {
+			sec.BlockedHigh = append(sec.BlockedHigh, k)
+		}
+	}
+	if sec.Probed == 0 {
+		return nil
+	}
+	sort.Ints(sec.BlockedLow)
+	sort.Ints(sec.BlockedHigh)
+	return sec
+}
+
+func atoi(s string) int64 {
+	v, _ := strconv.ParseInt(s, 10, 64)
+	return v
+}
+
+func atof(s string) float64 {
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText renders the report for humans.
+func (r *Report) WriteText(w io.Writer) error {
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	p("run report (%s)\n", r.GeneratedAt.Format(time.RFC3339))
+	if f := r.Faults; f != nil {
+		p("\ndigital stuck-at faults: %d total — %d tested, %d dropped, %d random, %d untestable, %d aborted (coverage %.1f%%)\n",
+			f.Total, f.Tested, f.Dropped, f.Random, f.Untestable, f.Aborted, 100*f.Coverage)
+		if len(f.Reasons) > 0 {
+			p("  untestability reasons:\n")
+			for _, reason := range sortedKeys(f.Reasons) {
+				p("    %-16s %d\n", reason, f.Reasons[reason])
+			}
+		}
+		if f.P50Ns > 0 {
+			p("  per-fault latency: p50 %s, p99 %s\n", fmtNs(f.P50Ns), fmtNs(f.P99Ns))
+		}
+		if len(f.Slowest) > 0 {
+			p("  slowest faults:\n")
+			for _, rec := range f.Slowest {
+				p("    %-24s %-16s %9s", rec.Name, rec.Outcome, fmtNs(float64(rec.LatencyNs)))
+				if rec.ProductNodes > 0 {
+					p("  S nodes %d", rec.ProductNodes)
+				}
+				if rec.Vector != "" {
+					p("  vector %s", rec.Vector)
+				}
+				p("\n")
+			}
+		}
+	}
+	if e := r.Elements; e != nil {
+		p("\nanalog elements: %d/%d testable through the mixed circuit\n", e.Testable, e.Total)
+		for _, reason := range sortedKeys(e.Reasons) {
+			p("  %-16s %d\n", reason, e.Reasons[reason])
+		}
+		for _, rec := range e.Elements {
+			if rec.Testable {
+				p("  %-4s ED %.1f%% via %s, comparator %d, stim %s\n",
+					rec.Name, 100*rec.ED, rec.Param, rec.Comparator, rec.Stimulus)
+			} else {
+				p("  %-4s NOT TESTABLE (%s)\n", rec.Name, rec.Reason)
+			}
+		}
+	}
+	if c := r.Comparators; c != nil {
+		p("\nconversion census: %d comparators probed, blocked low=%v high=%v\n",
+			c.Probed, c.BlockedLow, c.BlockedHigh)
+	}
+	m := r.Metrics
+	p("\nengine: ITE hit %.1f%%, unique hit %.1f%%, peak nodes %d, nodes alloc %d, MNA solves %d\n",
+		100*m.ITEHitRate, 100*m.UniqueHitRate, m.PeakNodes, m.NodesAlloc, m.MNASolves)
+	if m.SpansDropped > 0 || m.EventsDropped > 0 {
+		p("warning: trace truncated — %d spans and %d events dropped (raise the caps)\n",
+			m.SpansDropped, m.EventsDropped)
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func fmtNs(ns float64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

@@ -6,6 +6,15 @@ import (
 
 	"repro/internal/mna"
 	"repro/internal/numeric"
+	"repro/internal/obs"
+)
+
+// Transient-solve counters, resolved once against the process-wide
+// collector: each StepResponse is one transient solve of n/2+1 frequency
+// samples (each an MNA solve) plus one inverse FFT.
+var (
+	cStepSolves  = obs.Default.Counter("waveform.step.solves")
+	cStepSamples = obs.Default.Counter("waveform.step.samples")
 )
 
 // StepResponse computes the unit-step response of the circuit's transfer
@@ -26,6 +35,9 @@ func StepResponse(c *mna.Circuit, out string, window float64, n int) ([]float64,
 	if window <= 0 {
 		return nil, fmt.Errorf("waveform: window must be positive, got %g", window)
 	}
+	defer obs.Default.StartSpan("waveform.step_response").End()
+	cStepSolves.Inc()
+	cStepSamples.Add(int64(n/2 + 1))
 	// Sample H at f_k = k/window for k = 0..n/2, then mirror with
 	// conjugate symmetry so the impulse response comes out real.
 	spec := make([]complex128, n)
