@@ -28,6 +28,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -54,14 +55,20 @@ func main() {
 		os.Exit(2)
 	}
 
+	// A missing or unparseable snapshot is a usage/input problem (exit
+	// 2), never a regression (exit 1): CI gates on exit 1, and a stale
+	// baseline must read as "fix the baseline", not "the code got slower".
 	oldRep, err := benchfmt.Load(flag.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		fmt.Fprintf(os.Stderr, "benchdiff: cannot read baseline snapshot %s: %v\n", flag.Arg(0), err)
+		if errors.Is(err, os.ErrNotExist) {
+			fmt.Fprintln(os.Stderr, "benchdiff: regenerate it with: benchgen -obs "+flag.Arg(0))
+		}
 		os.Exit(2)
 	}
 	newRep, err := benchfmt.Load(flag.Arg(1))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		fmt.Fprintf(os.Stderr, "benchdiff: cannot read new snapshot %s: %v\n", flag.Arg(1), err)
 		os.Exit(2)
 	}
 

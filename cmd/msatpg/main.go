@@ -9,6 +9,13 @@
 //	msatpg -circuit chebyshev -digital c880
 //	msatpg -circuit chebyshev -digital c1908 -v
 //
+// Robustness:
+//
+//	msatpg -timeout 30s -fault-timeout 100ms   # run / per-fault deadlines
+//	msatpg -bdd-budget 200000 -retries 2       # node budget, retry aborts
+//	msatpg -checkpoint run.ckpt                # resume a killed run
+//	msatpg -chaos-prob 0.1 -chaos-seed 7       # deterministic fault injection
+//
 // Observability:
 //
 //	msatpg -stats -              # JSON obs snapshot on exit (to stdout)
@@ -20,6 +27,14 @@
 //	                                 # in chrome://tracing or Perfetto
 //	msatpg -pprof localhost:6060   # serve net/http/pprof + /debug/vars
 //
+// Exit status:
+//
+//	0  every fault classified: tested, dropped or provably untestable
+//	1  degraded run — aborted or timed-out faults remain — or the flow
+//	   itself failed
+//	2  usage or input error (bad flags, unknown circuit, unreadable
+//	   checkpoint file)
+//
 // The snapshot carries the whole pipeline's metrics (BDD cache hit
 // rates, peak nodes, per-fault ATPG latency histogram, analog solve
 // counts) and the per-phase spans of the analog → conversion → digital
@@ -27,11 +42,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"strings"
+	"time"
 
 	"repro/internal/adc"
 	"repro/internal/analog"
@@ -40,42 +60,109 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/faults"
+	"repro/internal/guard"
+	"repro/internal/guard/chaos"
 	"repro/internal/iscas"
 	"repro/internal/obs"
 	"repro/internal/report"
 )
 
 func main() {
-	circuit := flag.String("circuit", "bandpass", "analog block: bandpass | chebyshev")
-	digital := flag.String("digital", "", "digital block: fig3 (default for bandpass) | c432 | c499 | c880 | c1355 | c1908")
-	verbose := flag.Bool("v", false, "print per-element details")
-	program := flag.Bool("program", false, "compile and print the complete test program instead of the summary")
-	stats := flag.String("stats", "", "write the obs JSON snapshot on exit to this file, or - for stdout")
-	traceOut := flag.String("trace-out", "", "write the span log (JSON lines) on exit to this file, or - for stdout")
-	reportOut := flag.String("report", "", "write the structured run report as JSON to this file, or - for stdout")
-	reportText := flag.String("report-text", "", "write the run report in human-readable form to this file, or - for stdout")
-	traceChrome := flag.String("trace-chrome", "", "write a Chrome trace_event JSON file (chrome://tracing, Perfetto)")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar (obs counters) on this address, e.g. localhost:6060")
-	flag.Parse()
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// usageError marks failures the user caused with flags or inputs; they
+// exit 2 so scripts can tell "you invoked me wrong" from "the run
+// degraded" (exit 1).
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+func (e usageError) Unwrap() error { return e.err }
+
+type options struct {
+	circuit, digital string
+	verbose, program bool
+
+	checkpoint   string
+	runTimeout   time.Duration
+	faultTimeout time.Duration
+	bddBudget    int
+	retries      int
+
+	chaosProb   float64
+	chaosSeed   int64
+	chaosSites  string
+	chaosAction string
+}
+
+// realMain is main with the process edges (args, stdio, exit code) made
+// explicit so tests can drive full runs in-process.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("msatpg", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var opt options
+	fs.StringVar(&opt.circuit, "circuit", "bandpass", "analog block: bandpass | chebyshev")
+	fs.StringVar(&opt.digital, "digital", "", "digital block: fig3 (default for bandpass) | c432 | c499 | c880 | c1355 | c1908")
+	fs.BoolVar(&opt.verbose, "v", false, "print per-element details")
+	fs.BoolVar(&opt.program, "program", false, "compile and print the complete test program instead of the summary")
+	fs.StringVar(&opt.checkpoint, "checkpoint", "", "record completed faults to this file and resume from it on restart")
+	fs.DurationVar(&opt.runTimeout, "timeout", 0, "deadline for the whole run (0 = none)")
+	fs.DurationVar(&opt.faultTimeout, "fault-timeout", 0, "deadline per fault / per analog element (0 = none)")
+	fs.IntVar(&opt.bddBudget, "bdd-budget", 0, "BDD node allowance per fault; doubles on each retry (0 = uncapped)")
+	fs.IntVar(&opt.retries, "retries", 0, "extra attempts for faults aborted by budget, panic or injected failure")
+	fs.Float64Var(&opt.chaosProb, "chaos-prob", 0, "deterministic fault-injection probability per site visit (0 = off)")
+	fs.Int64Var(&opt.chaosSeed, "chaos-seed", 1, "seed for the chaos injector's site hashing")
+	fs.StringVar(&opt.chaosSites, "chaos-sites", "", "comma-separated injection sites (default: all sites)")
+	fs.StringVar(&opt.chaosAction, "chaos-action", "panic", "what a firing site does: panic | error | budget | timeout")
+	stats := fs.String("stats", "", "write the obs JSON snapshot on exit to this file, or - for stdout")
+	traceOut := fs.String("trace-out", "", "write the span log (JSON lines) on exit to this file, or - for stdout")
+	reportOut := fs.String("report", "", "write the structured run report as JSON to this file, or - for stdout")
+	reportText := fs.String("report-text", "", "write the run report in human-readable form to this file, or - for stdout")
+	traceChrome := fs.String("trace-chrome", "", "write a Chrome trace_event JSON file (chrome://tracing, Perfetto)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar (obs counters) on this address, e.g. localhost:6060")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: msatpg [flags]\n\nExit status:\n")
+		fmt.Fprintf(stderr, "  0  every fault classified (tested, dropped or provably untestable)\n")
+		fmt.Fprintf(stderr, "  1  degraded run: aborted or timed-out faults remain, or the flow failed\n")
+		fmt.Fprintf(stderr, "  2  usage or input error (bad flags, unknown circuit, unreadable checkpoint)\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "msatpg: unexpected arguments: %v\n", fs.Args())
+		fs.Usage()
+		return 2
+	}
 
 	if *pprofAddr != "" {
 		obs.PublishExpvar("obs", obs.Default)
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "msatpg: pprof server: %v\n", err)
+				fmt.Fprintf(stderr, "msatpg: pprof server: %v\n", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "msatpg: profiling on http://%s/debug/pprof/ (obs counters at /debug/vars)\n", *pprofAddr)
+		fmt.Fprintf(stderr, "msatpg: profiling on http://%s/debug/pprof/ (obs counters at /debug/vars)\n", *pprofAddr)
 	}
 
-	err := run(*circuit, *digital, *verbose, *program)
+	degraded, err := run(opt, stdout)
 	if werr := writeObs(*stats, *traceOut, *reportOut, *reportText, *traceChrome); err == nil {
 		err = werr
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "msatpg: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "msatpg: %v\n", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			return 2
+		}
+		return 1
 	}
+	if degraded {
+		fmt.Fprintln(stderr, "msatpg: run degraded: aborted or timed-out work remains (rerun with -checkpoint to resume)")
+		return 1
+	}
+	return 0
 }
 
 // writeObs dumps the process snapshot, span log, run report and/or
@@ -135,20 +222,52 @@ func outFile(path string) (*os.File, func() error, error) {
 	return f, f.Close, nil
 }
 
-func run(circuit, digital string, verbose, program bool) error {
+// chaosInjector builds the injector from the -chaos-* flags, or nil
+// when injection is off.
+func chaosInjector(opt options) (*chaos.Injector, error) {
+	if opt.chaosProb <= 0 {
+		return nil, nil
+	}
+	var action chaos.Action
+	switch opt.chaosAction {
+	case "panic":
+		action = chaos.Panic
+	case "error":
+		action = chaos.Error
+	case "budget":
+		action = chaos.Budget
+	case "timeout":
+		action = chaos.Timeout
+	default:
+		return nil, usageError{fmt.Errorf("unknown -chaos-action %q (want panic, error, budget or timeout)", opt.chaosAction)}
+	}
+	copts := []chaos.Option{chaos.WithAction(action)}
+	if opt.chaosSites != "" {
+		var sites []string
+		for _, s := range strings.Split(opt.chaosSites, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				sites = append(sites, s)
+			}
+		}
+		copts = append(copts, chaos.AtSites(sites...))
+	}
+	return chaos.New(opt.chaosSeed, opt.chaosProb, copts...), nil
+}
+
+func run(opt options, stdout io.Writer) (degraded bool, err error) {
 	var (
 		mx       *core.Mixed
 		elements []string
 		params   []analog.Parameter
-		err      error
 	)
+	circuit, digital := opt.circuit, opt.digital
 	switch circuit {
 	case "bandpass":
 		if digital == "" {
 			digital = "fig3"
 		}
 		if digital != "fig3" {
-			return fmt.Errorf("the band-pass vehicle pairs with -digital fig3")
+			return false, usageError{fmt.Errorf("the band-pass vehicle pairs with -digital fig3")}
 		}
 		mx, err = core.NewMixed(circuits.BandPass2(), circuits.BandPassOutput,
 			adc.NewFlash(2, 0, 3), iscas.Fig3(), iscas.Fig3ConstrainedLines())
@@ -160,7 +279,7 @@ func run(circuit, digital string, verbose, program bool) error {
 		}
 		dig, derr := iscas.Benchmark(digital)
 		if derr != nil {
-			return derr
+			return false, usageError{derr}
 		}
 		mx, err = core.NewMixed(circuits.Chebyshev5(), circuits.ChebyshevOutput,
 			adc.NewFlash(experiments.ComparatorCount, 0, float64(experiments.ComparatorCount+1)),
@@ -168,100 +287,160 @@ func run(circuit, digital string, verbose, program bool) error {
 		elements = circuits.ChebyshevElements
 		params = circuits.ChebyshevParams()
 	default:
-		return fmt.Errorf("unknown -circuit %q", circuit)
+		return false, usageError{fmt.Errorf("unknown -circuit %q", circuit)}
 	}
 	if err != nil {
-		return err
+		return false, err
 	}
 
-	fmt.Printf("mixed circuit: %s → %d-comparator flash → %s (%d PIs, %d bound, %d free)\n",
+	limits := guard.Limits{
+		PerItem:    opt.faultTimeout,
+		Run:        opt.runTimeout,
+		BDDNodes:   opt.bddBudget,
+		MaxRetries: opt.retries,
+	}
+	ctx := context.Background()
+	if in, cerr := chaosInjector(opt); cerr != nil {
+		return false, cerr
+	} else if in != nil {
+		ctx = chaos.Into(ctx, in)
+	}
+	runCtx, cancelRun := limits.WithRunContext(ctx)
+	defer cancelRun()
+
+	var ckpt *guard.Checkpoint
+	if opt.checkpoint != "" {
+		scope := fmt.Sprintf("msatpg:%s:%s", circuit, digital)
+		ckpt, err = guard.OpenCheckpoint(opt.checkpoint, scope)
+		if err != nil {
+			return false, usageError{fmt.Errorf("checkpoint: %w", err)}
+		}
+	}
+
+	fmt.Fprintf(stdout, "mixed circuit: %s → %d-comparator flash → %s (%d PIs, %d bound, %d free)\n",
 		mx.Analog.Name(), mx.Conv.NumComparators(), mx.Digital.Name,
 		len(mx.Digital.Inputs()), len(mx.Binding), len(mx.FreeInputs()))
 
-	if program {
+	if opt.program {
 		matrix, err := analog.BuildMatrix(mx.Analog, elements, params, analog.DefaultEDOptions())
 		if err != nil {
-			return err
+			return false, err
 		}
 		prog, err := core.CompileProgram(mx, matrix, elements)
 		if err != nil {
-			return err
+			return false, err
 		}
-		return prog.Write(os.Stdout)
+		return false, prog.Write(stdout)
 	}
 
-	// 1. Analog element tests through the digital block.
+	// 1. Analog element tests through the digital block. Each element
+	// runs under the guard harness: a panic or injected failure in one
+	// element degrades the run instead of killing it.
 	analogSpan := obs.Default.StartSpan("phase.analog")
-	fmt.Println("\n-- analog element tests (activation + D propagation) --")
+	fmt.Fprintln(stdout, "\n-- analog element tests (activation + D propagation) --")
 	matrix, err := analog.BuildMatrix(mx.Analog, elements, params, analog.DefaultEDOptions())
 	if err != nil {
-		return err
+		return false, err
 	}
 	prop, err := core.NewPropagator(mx)
 	if err != nil {
-		return err
+		return false, err
 	}
-	testable := 0
+	testable, elemAborted, elemTimedOut := 0, 0, 0
 	for _, elem := range elements {
-		verdict, err := mx.TestAnalogElement(prop, matrix, elem, core.UpperBound)
-		if err != nil {
-			return err
+		elem := elem
+		var verdict core.ElementTest
+		itemCtx, cancelItem := limits.WithItemContext(runCtx)
+		out := guard.Do(itemCtx, obs.Default, "element:"+elem, func(ctx context.Context) error {
+			v, terr := mx.TestAnalogElementCtx(ctx, prop, matrix, elem, core.UpperBound)
+			if terr != nil {
+				return terr
+			}
+			verdict = v
+			return nil
+		})
+		cancelItem()
+		switch out.Class {
+		case guard.TimedOut:
+			elemTimedOut++
+			fmt.Fprintf(stdout, "  %-4s TIMED OUT (%s)\n", elem, out.Reason)
+			continue
+		case guard.Aborted, guard.Canceled:
+			elemAborted++
+			fmt.Fprintf(stdout, "  %-4s ABORTED (%s)\n", elem, out.Reason)
+			continue
 		}
 		if verdict.Testable {
 			testable++
-			if verbose {
-				fmt.Printf("  %-4s ED=%-7s via %-5s %v → comparator %d → outputs %v, free inputs %v\n",
+			if opt.verbose {
+				fmt.Fprintf(stdout, "  %-4s ED=%-7s via %-5s %v → comparator %d → outputs %v, free inputs %v\n",
 					elem, fmtPct(verdict.ED), verdict.Param, verdict.Act.Stim,
 					verdict.Act.Target, verdict.Prop.Outputs, verdict.Prop.Vector)
 			}
-		} else if verbose {
-			fmt.Printf("  %-4s NOT TESTABLE (%s)\n", elem, verdict.Reason)
+		} else if opt.verbose {
+			fmt.Fprintf(stdout, "  %-4s NOT TESTABLE (%s)\n", elem, verdict.Reason)
 		}
 	}
-	fmt.Printf("  %d/%d elements testable through the mixed circuit\n", testable, len(elements))
+	fmt.Fprintf(stdout, "  %d/%d elements testable through the mixed circuit", testable, len(elements))
+	if elemAborted+elemTimedOut > 0 {
+		fmt.Fprintf(stdout, " (%d aborted, %d timed-out)", elemAborted, elemTimedOut)
+	}
+	fmt.Fprintln(stdout)
 	analogSpan.End()
 
 	// 2. Conversion-block coverage.
 	convSpan := obs.Default.StartSpan("phase.conversion")
 	census, err := mx.CensusPropagation(prop)
 	if err != nil {
-		return err
+		return false, err
 	}
-	fmt.Printf("\n-- conversion block: comparators blocked low=%v high=%v --\n",
+	fmt.Fprintf(stdout, "\n-- conversion block: comparators blocked low=%v high=%v --\n",
 		census.BlockedLow, census.BlockedHigh)
 	eds := mx.ConversionCoverage(census, adc.DefaultEDOptions())
-	fmt.Print("  ladder EDs: ")
+	fmt.Fprint(stdout, "  ladder EDs: ")
 	for i, ed := range eds {
-		fmt.Printf("R%d=%s ", i+1, fmtPct(ed))
+		fmt.Fprintf(stdout, "R%d=%s ", i+1, fmtPct(ed))
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 	convSpan.End()
 
 	// 3. Constrained digital stuck-at ATPG.
 	digitalSpan := obs.Default.StartSpan("phase.digital")
-	fmt.Println("\n-- digital stuck-at ATPG under the conversion constraints --")
+	fmt.Fprintln(stdout, "\n-- digital stuck-at ATPG under the conversion constraints --")
 	gen, err := atpg.New(mx.Digital)
 	if err != nil {
-		return err
+		return false, err
 	}
 	fc := mx.Conv.ConstraintBDD(gen.Manager(), mx.Binding)
 	gen.SetConstraint(fc)
 	fs := faults.Collapse(mx.Digital)
-	res := gen.Run(fs)
-	fmt.Printf("  %d collapsed faults: %d detected, %d untestable, %d vectors, %v, coverage %.1f%%\n",
-		res.Total, res.Detected, len(res.Untestable), len(res.Vectors), res.CPU.Round(1e6),
-		100*res.Coverage())
-	if verbose {
+	runOpts := []atpg.RunOption{atpg.WithContext(runCtx), atpg.WithLimits(limits)}
+	if ckpt != nil {
+		runOpts = append(runOpts, atpg.WithCheckpoint(ckpt))
+	}
+	res := gen.Run(fs, runOpts...)
+	if res.Resumed > 0 {
+		fmt.Fprintf(stdout, "  resumed %d faults from checkpoint %s\n", res.Resumed, opt.checkpoint)
+	}
+	fmt.Fprintf(stdout, "  %d collapsed faults: %d detected, %d untestable, %d aborted, %d timed-out, %d vectors, %v, coverage %.1f%%\n",
+		res.Total, res.Detected, len(res.Untestable), len(res.Aborted), len(res.TimedOut),
+		len(res.Vectors), res.CPU.Round(1e6), 100*res.Coverage())
+	if res.Retries > 0 {
+		fmt.Fprintf(stdout, "  %d retries spent recovering aborted faults\n", res.Retries)
+	}
+	if opt.verbose {
 		for i, v := range res.Vectors {
 			if i >= 10 {
-				fmt.Printf("  ... and %d more vectors\n", len(res.Vectors)-10)
+				fmt.Fprintf(stdout, "  ... and %d more vectors\n", len(res.Vectors)-10)
 				break
 			}
-			fmt.Printf("  vector %2d: %s\n", i+1, v)
+			fmt.Fprintf(stdout, "  vector %2d: %s\n", i+1, v)
 		}
 	}
 	digitalSpan.End()
-	return nil
+
+	degraded = len(res.Aborted)+len(res.TimedOut)+elemAborted+elemTimedOut > 0
+	return degraded, nil
 }
 
 func fmtPct(f float64) string {

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/report"
+)
+
+// TestChaosRunThenCheckpointResume is the acceptance path for the
+// hardened execution layer: a run with injected panics on ~10% of the
+// fault sites finishes the remaining faults, reports the aborted ones
+// under distinct reasons and exits 1; a second run against the same
+// checkpoint restores every completed fault, recomputes only the
+// aborted ones and exits 0.
+//
+// obs.Default is process-global, so the second run's report would
+// double-count the first run's events; the report assertions therefore
+// target run 1 only, and resume is asserted through run 2's stdout.
+func TestChaosRunThenCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "run.ckpt")
+	repJSON := filepath.Join(dir, "report.json")
+
+	// Run 1: deterministic chaos panics on the per-fault ATPG site.
+	var out1, err1 bytes.Buffer
+	code := realMain([]string{
+		"-chaos-prob", "0.1", "-chaos-seed", "11", "-chaos-action", "panic",
+		"-chaos-sites", "atpg.fault",
+		"-checkpoint", ckpt,
+		"-report", repJSON,
+	}, &out1, &err1)
+	if code != 1 {
+		t.Fatalf("chaos run: exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out1.String(), err1.String())
+	}
+	if !strings.Contains(err1.String(), "run degraded") {
+		t.Errorf("chaos run stderr missing degradation notice:\n%s", err1.String())
+	}
+	if strings.Contains(out1.String(), " 0 aborted,") {
+		t.Fatalf("chaos run reported no aborted faults; injection did not fire:\n%s", out1.String())
+	}
+	// The run must still have completed the non-injected faults.
+	if !strings.Contains(out1.String(), "detected") {
+		t.Fatalf("chaos run produced no fault summary:\n%s", out1.String())
+	}
+
+	data, rerr := os.ReadFile(repJSON)
+	if rerr != nil {
+		t.Fatalf("reading report: %v", rerr)
+	}
+	var rep report.Report
+	if jerr := json.Unmarshal(data, &rep); jerr != nil {
+		t.Fatalf("parsing report: %v", jerr)
+	}
+	if rep.Faults == nil {
+		t.Fatal("report has no faults section")
+	}
+	if rep.Faults.Aborted == 0 {
+		t.Errorf("report: aborted = 0, want > 0")
+	}
+	if len(rep.Faults.AbortReasons) == 0 {
+		t.Errorf("report: abort_reasons empty, want per-reason breakdown")
+	}
+	if rep.Faults.AbortReasons["panic"] == 0 {
+		t.Errorf("report: abort_reasons = %v, want a \"panic\" bucket", rep.Faults.AbortReasons)
+	}
+	if rep.Metrics.Panics == 0 {
+		t.Errorf("report: recovered-panic counter is 0, want > 0")
+	}
+
+	// Run 2: no chaos, same checkpoint — completed faults restore,
+	// aborted ones recompute, everything classifies → exit 0.
+	var out2, err2 bytes.Buffer
+	code = realMain([]string{"-checkpoint", ckpt}, &out2, &err2)
+	if code != 0 {
+		t.Fatalf("resume run: exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out2.String(), err2.String())
+	}
+	if !strings.Contains(out2.String(), "resumed") || !strings.Contains(out2.String(), "from checkpoint") {
+		t.Errorf("resume run did not report restoring from checkpoint:\n%s", out2.String())
+	}
+	if !strings.Contains(out2.String(), " 0 aborted, 0 timed-out,") {
+		t.Errorf("resume run still has degraded faults:\n%s", out2.String())
+	}
+	if !strings.Contains(out2.String(), "coverage 100.0%") {
+		t.Errorf("resume run did not reach full coverage:\n%s", out2.String())
+	}
+}
+
+// TestChaosPanicsPlusBudgetExhaustion combines injected panics with a
+// starvation-level BDD node budget: the run must finish the unaffected
+// faults, file the casualties under *distinct* reasons (a panic bucket
+// and a budget bucket naming the exhausted resource) and exit 1.
+func TestChaosPanicsPlusBudgetExhaustion(t *testing.T) {
+	repJSON := filepath.Join(t.TempDir(), "report.json")
+	var out, errw bytes.Buffer
+	code := realMain([]string{
+		"-chaos-prob", "0.1", "-chaos-seed", "11", "-chaos-action", "panic",
+		"-chaos-sites", "atpg.fault",
+		"-bdd-budget", "1",
+		"-report", repJSON,
+	}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+	data, err := os.ReadFile(repJSON)
+	if err != nil {
+		t.Fatalf("reading report: %v", err)
+	}
+	var rep report.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("parsing report: %v", err)
+	}
+	if rep.Faults == nil {
+		t.Fatal("report has no faults section")
+	}
+	var havePanic, haveBudget bool
+	for reason, n := range rep.Faults.AbortReasons {
+		if n == 0 {
+			continue
+		}
+		if reason == "panic" {
+			havePanic = true
+		}
+		if strings.HasPrefix(reason, "budget") {
+			haveBudget = true
+		}
+	}
+	if !havePanic || !haveBudget {
+		t.Errorf("abort_reasons = %v, want both a panic and a budget bucket", rep.Faults.AbortReasons)
+	}
+	// The run must still have made progress on the surviving faults.
+	if !strings.Contains(out.String(), "detected") || strings.Contains(out.String(), " 0 detected,") {
+		t.Errorf("run detected nothing despite partial injection:\n%s", out.String())
+	}
+}
+
+func TestUsageErrorsExit2(t *testing.T) {
+	cases := [][]string{
+		{"-circuit", "nope"},
+		{"-circuit", "chebyshev", "-digital", "c9999"},
+		{"-chaos-prob", "0.5", "-chaos-action", "explode"},
+		{"-no-such-flag"},
+		{"positional"},
+	}
+	for _, args := range cases {
+		var out, errw bytes.Buffer
+		if code := realMain(args, &out, &errw); code != 2 {
+			t.Errorf("realMain(%v) = %d, want 2\nstderr:\n%s", args, code, errw.String())
+		}
+	}
+}
+
+func TestUsageDocumentsExitCodes(t *testing.T) {
+	var out, errw bytes.Buffer
+	realMain([]string{"-h"}, &out, &errw)
+	usage := errw.String()
+	for _, want := range []string{"Exit status", "0  every fault", "1  degraded", "2  usage or input"} {
+		if !strings.Contains(usage, want) {
+			t.Errorf("usage text missing %q:\n%s", want, usage)
+		}
+	}
+}
+
+func TestCorruptCheckpointExit2(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.ckpt")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	if code := realMain([]string{"-checkpoint", path}, &out, &errw); code != 2 {
+		t.Errorf("corrupt checkpoint: exit code = %d, want 2\nstderr:\n%s", code, errw.String())
+	}
+}

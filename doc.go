@@ -23,6 +23,18 @@
 // snapshots with regression thresholds; and atpg.Result carries a
 // per-run snapshot in its Stats field.
 //
+// Execution is hardened through internal/guard: every work item (fault,
+// analog element, time frame) runs inside a harness that converts
+// panics, node/solve budget exhaustion, cancellation and per-item or
+// per-run deadlines into typed outcomes (OK, Aborted, TimedOut,
+// Canceled) instead of crashes or hangs, retries aborted items with an
+// escalating budget, and checkpoints completed faults so a killed run
+// resumes without recomputation (msatpg -checkpoint). A deterministic
+// chaos injector (internal/guard/chaos) drills the whole pipeline by
+// injecting failures at named sites from a seed; msatpg exposes it via
+// -chaos-* flags and reports degradation through its exit code (0 all
+// classified, 1 degraded, 2 usage error).
+//
 // See README.md for the layout, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 // The benchmarks in bench_test.go regenerate every table and figure of

@@ -1,12 +1,15 @@
 package atpg
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"repro/internal/bdd"
 	"repro/internal/faults"
+	"repro/internal/guard"
+	"repro/internal/guard/chaos"
 	"repro/internal/obs"
 )
 
@@ -15,12 +18,15 @@ import (
 type Result struct {
 	Vectors    []faults.Vector
 	Untestable []faults.Fault
-	Aborted    []faults.Fault // node-limit hit while building the cone
+	Aborted    []faults.Fault // budget/node-limit hit or panic while building the cone
+	TimedOut   []faults.Fault // per-fault or run deadline expired
 	Detected   int
 	Total      int
 	CPU        time.Duration
 	PeakNodes  int
 	RandomHits int // faults dropped by the optional random phase
+	Retries    int // extra attempts spent re-running aborted faults
+	Resumed    int // faults restored from a checkpoint, not recomputed
 
 	// Stats holds the run's slice of the generator's obs collector:
 	// BDD cache hit rates, the per-fault latency histogram, fault
@@ -52,6 +58,9 @@ type RunOption func(*runConfig)
 type runConfig struct {
 	randomVectors int
 	randomSeed    int64
+	ctx           context.Context
+	limits        guard.Limits
+	checkpoint    *guard.Checkpoint
 }
 
 // WithRandomPhase prepends n random vectors (legal only when the circuit
@@ -66,6 +75,31 @@ func WithRandomPhase(n int, seed int64) RunOption {
 	return func(c *runConfig) { c.randomVectors = n; c.randomSeed = seed }
 }
 
+// WithContext makes the run cancellable: once ctx is done, in-flight BDD
+// construction aborts at the next allocation poll and every remaining
+// fault is classified without being attempted. The context is also the
+// channel through which a chaos injector reaches the "atpg.fault" site.
+func WithContext(ctx context.Context) RunOption {
+	return func(c *runConfig) { c.ctx = ctx }
+}
+
+// WithLimits applies resource budgets to the run: a per-fault and whole-
+// run deadline, a per-fault BDD node allowance, and a retry policy for
+// aborted faults. Retried attempts double the node allowance each time,
+// so a fault that tripped the budget gets a realistic second chance.
+func WithLimits(l guard.Limits) RunOption {
+	return func(c *runConfig) { c.limits = l }
+}
+
+// WithCheckpoint attaches a checkpoint: completed faults (tested,
+// dropped, random, untestable) are recorded as the run progresses, and
+// faults already recorded are restored without recomputation. Aborted
+// and timed-out faults are deliberately not recorded — a resumed run
+// re-attempts them.
+func WithCheckpoint(cp *guard.Checkpoint) RunOption {
+	return func(c *runConfig) { c.checkpoint = cp }
+}
+
 // Run generates tests for every fault in fs with fault dropping: each new
 // vector is fault-simulated against the remaining faults, and faults it
 // detects are never targeted. The vector set therefore detects every
@@ -75,6 +109,11 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if cfg.ctx == nil {
+		cfg.ctx = context.Background()
+	}
+	runCtx, cancelRun := cfg.limits.WithRunContext(cfg.ctx)
+	defer cancelRun()
 	start := time.Now()
 	snapBefore := g.col.Snapshot()
 	runSpan := g.col.StartSpan("atpg.run")
@@ -86,8 +125,58 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 	res := &Result{Total: len(fs)}
 	sim := faults.NewSimulator(g.c)
 
-	// state: 0 = pending, 1 = detected, 2 = untestable, 3 = aborted
+	// ckpt records one completed fault; checkpoint I/O failures are
+	// counted, not fatal — losing a checkpoint must not kill the run.
+	ckpt := func(key, outcome, vector string) {
+		if cfg.checkpoint == nil {
+			return
+		}
+		if err := cfg.checkpoint.Put(guard.Record{Key: key, Outcome: outcome, Vector: vector}); err != nil {
+			g.col.Counter("atpg.checkpoint.errors").Inc()
+		}
+	}
+
+	// state: 0 = pending, 1 = detected, 2 = untestable, 3 = aborted,
+	// 4 = timed out
 	state := make([]byte, len(fs))
+
+	// Restore faults already completed by a previous run before doing
+	// any work. Tested faults bring their witness vector back into the
+	// vector set; aborted/timed-out faults were never recorded, so they
+	// are re-attempted below.
+	if cfg.checkpoint != nil && cfg.checkpoint.Len() > 0 {
+		for i := range fs {
+			name := fs[i].Name(g.c)
+			rec, ok := cfg.checkpoint.Lookup(name)
+			if !ok {
+				continue
+			}
+			switch rec.Outcome {
+			case "tested":
+				v, okv := parseVector(rec.Vector)
+				if !okv {
+					continue // corrupt record: recompute
+				}
+				state[i] = 1
+				res.Detected++
+				res.Vectors = append(res.Vectors, v)
+			case "dropped":
+				state[i] = 1
+				res.Detected++
+			case "random":
+				state[i] = 1
+				res.Detected++
+				res.RandomHits++
+			default: // untestable reasons: no-difference, constrained-out, unknown
+				state[i] = 2
+				res.Untestable = append(res.Untestable, fs[i])
+			}
+			res.Resumed++
+			g.col.Counter("atpg.faults.resumed").Inc()
+			g.col.Event("fault", name,
+				obs.Str("outcome", "resumed"), obs.Str("was", rec.Outcome))
+		}
+	}
 	pendingIdx := func() []int {
 		var idx []int
 		for i, st := range state {
@@ -125,6 +214,7 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 				if idx[j] != target {
 					g.col.Event("fault", rem[j].Name(g.c),
 						obs.Str("outcome", outcome), obs.Str("by", by))
+					ckpt(rem[j].Name(g.c), outcome, "")
 				}
 			}
 		}
@@ -137,6 +227,9 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 		rng := rand.New(rand.NewSource(cfg.randomSeed))
 		nIn := len(g.c.Inputs())
 		for k := 0; k < cfg.randomVectors; k++ {
+			if runCtx.Err() != nil {
+				break
+			}
 			v := make(faults.Vector, nIn)
 			for i := range v {
 				v[i] = rng.Intn(2) == 1
@@ -163,6 +256,10 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 	// tested) the witness vector — the per-work-item record the run
 	// report and the Chrome trace are built from.
 	detSpan := g.col.StartSpan("atpg.deterministic_phase")
+	policy := guard.RetryPolicy{
+		MaxRetries: cfg.limits.MaxRetries,
+		Backoff:    cfg.limits.RetryBackoff,
+	}
 	for i := range fs {
 		if state[i] != 0 {
 			continue
@@ -172,32 +269,70 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 		var productNodes int
 		name := fs[i].Name(g.c)
 		faultStart := time.Now()
-		err := bdd.Guard(func() error {
-			s := g.TestFunction(fs[i])
-			if g.col != nil {
-				productNodes = g.m.NodeCount(s)
+		// Each fault runs inside the guard harness: panic isolation,
+		// per-fault deadline, BDD node budget (doubled on each retry so a
+		// budget-tripped fault gets a realistic second chance), and the
+		// "atpg.fault" chaos site for fault-injection tests.
+		itemCtx, cancelItem := cfg.limits.WithItemContext(runCtx)
+		out := guard.Run(itemCtx, g.col, name, policy, func(ctx context.Context, attempt int) error {
+			if err := chaos.Step(ctx, "atpg.fault", name); err != nil {
+				return err
 			}
-			var assign map[string]bool
-			if assign, ok = g.m.SatOneConstrained(s, g.inputNames); ok {
-				v = faults.VectorFromAssignment(g.c, assign)
+			g.m.BindContext(ctx)
+			if cfg.limits.BDDNodes > 0 {
+				g.m.SetNodeBudget(cfg.limits.BDDNodes << attempt)
 			}
-			return nil
+			return bdd.Guard(func() error {
+				s := g.TestFunction(fs[i])
+				if g.col != nil {
+					productNodes = g.m.NodeCount(s)
+				}
+				var assign map[string]bool
+				if assign, ok = g.m.SatOneConstrained(s, g.inputNames); ok {
+					v = faults.VectorFromAssignment(g.c, assign)
+				}
+				return nil
+			})
 		})
+		cancelItem()
+		g.m.BindContext(nil)
+		if cfg.limits.BDDNodes > 0 {
+			g.m.SetNodeBudget(0)
+		}
+		res.Retries += out.Retries()
 		latency.Observe(time.Since(faultStart).Nanoseconds())
-		if err != nil {
+		switch out.Class {
+		case guard.TimedOut:
+			state[i] = 4
+			res.TimedOut = append(res.TimedOut, fs[i])
+			g.col.Counter("atpg.faults.timedout").Inc()
+			g.col.EventSince("fault", name, faultStart,
+				obs.Str("outcome", "timed-out"), obs.Str("reason", out.Reason))
+			continue
+		case guard.Canceled:
 			state[i] = 3
 			res.Aborted = append(res.Aborted, fs[i])
 			g.col.Counter("atpg.faults.aborted").Inc()
-			g.col.EventSince("fault", name, faultStart, obs.Str("outcome", "aborted"))
+			g.col.EventSince("fault", name, faultStart,
+				obs.Str("outcome", "aborted"), obs.Str("reason", "canceled"))
+			continue
+		case guard.Aborted:
+			state[i] = 3
+			res.Aborted = append(res.Aborted, fs[i])
+			g.col.Counter("atpg.faults.aborted").Inc()
+			g.col.EventSince("fault", name, faultStart,
+				obs.Str("outcome", "aborted"), obs.Str("reason", out.Reason))
 			continue
 		}
 		if !ok {
+			reason := g.untestableReason(fs[i])
 			state[i] = 2
 			res.Untestable = append(res.Untestable, fs[i])
 			g.col.Counter("atpg.faults.untestable").Inc()
 			g.col.EventSince("fault", name, faultStart,
-				obs.Str("outcome", g.untestableReason(fs[i])),
+				obs.Str("outcome", reason),
 				obs.Int("product_nodes", int64(productNodes)))
+			ckpt(name, reason, "")
 			continue
 		}
 		res.Vectors = append(res.Vectors, v)
@@ -206,6 +341,7 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 			obs.Str("outcome", "tested"),
 			obs.Int("product_nodes", int64(productNodes)),
 			obs.Str("vector", v.String()))
+		ckpt(name, "tested", v.String())
 		dropWith(v, i, name, false)
 		if state[i] == 0 {
 			// The generated vector must detect its target; treat a miss
@@ -214,6 +350,11 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 		}
 	}
 	detSpan.End()
+	if cfg.checkpoint != nil {
+		if err := cfg.checkpoint.Flush(); err != nil {
+			g.col.Counter("atpg.checkpoint.errors").Inc()
+		}
+	}
 	res.CPU = time.Since(start)
 	res.PeakNodes = g.m.PeakSize()
 	runSpan.End()
@@ -221,6 +362,25 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 		res.Stats = g.col.Snapshot().Sub(snapBefore)
 	}
 	return res
+}
+
+// parseVector decodes the bit-string form produced by faults.Vector's
+// String method, as stored in checkpoint records.
+func parseVector(s string) (faults.Vector, bool) {
+	if s == "" {
+		return nil, false
+	}
+	v := make(faults.Vector, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+		case '1':
+			v[i] = true
+		default:
+			return nil, false
+		}
+	}
+	return v, true
 }
 
 // untestableReason classifies why a fault's test function came out

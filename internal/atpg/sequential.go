@@ -1,11 +1,14 @@
 package atpg
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/bdd"
 	"repro/internal/faults"
+	"repro/internal/guard"
+	"repro/internal/guard/chaos"
 	"repro/internal/logic"
 	"repro/internal/obs"
 )
@@ -137,6 +140,8 @@ type SequentialResult struct {
 	Total      int
 	Detected   int
 	Untestable []faults.Fault // in core coordinates
+	Aborted    []faults.Fault // panic or budget trip while unrolling the cone
+	TimedOut   []faults.Fault // per-fault or run deadline expired
 	Vectors    []faults.Vector
 }
 
@@ -151,8 +156,21 @@ type SequentialResult struct {
 // mapping), and one "seq.fault" event per core fault with its outcome
 // and site count.
 func RunSequential(seq *logic.SeqCircuit, fs []faults.Fault, frames int, initial map[string]bool) (*SequentialResult, error) {
+	return RunSequentialCtx(context.Background(), seq, fs, frames, initial, guard.Limits{})
+}
+
+// RunSequentialCtx is RunSequential under the hardened execution layer:
+// each core fault runs inside the guard harness with the per-fault
+// deadline and BDD node budget from limits, so a deadline expiring in
+// the middle of a time-frame-expanded cone aborts that fault (it lands
+// in TimedOut) instead of hanging the run, and a panic or budget trip
+// lands in Aborted. The per-fault work is also the "atpg.seq.fault"
+// chaos site.
+func RunSequentialCtx(ctx context.Context, seq *logic.SeqCircuit, fs []faults.Fault, frames int, initial map[string]bool, limits guard.Limits) (*SequentialResult, error) {
 	col := obs.Default
 	defer col.StartSpan("atpg.seq.run").End()
+	runCtx, cancelRun := limits.WithRunContext(ctx)
+	defer cancelRun()
 	unrollSpan := col.StartSpan("atpg.seq.unroll")
 	unrolled, err := seq.Unroll(frames, initial)
 	unrollSpan.End()
@@ -185,7 +203,41 @@ func RunSequential(seq *logic.SeqCircuit, fs []faults.Fault, frames int, initial
 				obs.Str("outcome", "no-site"), obs.Int("frames", int64(frames)))
 			continue
 		}
-		v, ok := g.GenerateVectorSet(sites[fi])
+		var v faults.Vector
+		var ok bool
+		itemCtx, cancelItem := limits.WithItemContext(runCtx)
+		out := guard.Do(itemCtx, col, name, func(c context.Context) error {
+			if err := chaos.Step(c, "atpg.seq.fault", name); err != nil {
+				return err
+			}
+			g.m.BindContext(c)
+			if limits.BDDNodes > 0 {
+				g.m.SetNodeBudget(limits.BDDNodes)
+			}
+			return bdd.Guard(func() error {
+				v, ok = g.GenerateVectorSet(sites[fi])
+				return nil
+			})
+		})
+		cancelItem()
+		g.m.BindContext(nil)
+		if limits.BDDNodes > 0 {
+			g.m.SetNodeBudget(0)
+		}
+		switch out.Class {
+		case guard.TimedOut:
+			res.TimedOut = append(res.TimedOut, f)
+			col.EventSince("seq.fault", name, start,
+				obs.Str("outcome", "timed-out"), obs.Str("reason", out.Reason),
+				obs.Int("frames", int64(frames)))
+			continue
+		case guard.Aborted, guard.Canceled:
+			res.Aborted = append(res.Aborted, f)
+			col.EventSince("seq.fault", name, start,
+				obs.Str("outcome", "aborted"), obs.Str("reason", out.Reason),
+				obs.Int("frames", int64(frames)))
+			continue
+		}
 		if !ok {
 			res.Untestable = append(res.Untestable, f)
 			col.EventSince("seq.fault", name, start,

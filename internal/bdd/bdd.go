@@ -15,9 +15,11 @@
 package bdd
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"repro/internal/guard"
 	"repro/internal/obs"
 )
 
@@ -62,6 +64,23 @@ func (e *LimitError) Error() string {
 	return fmt.Sprintf("bdd: node limit %d exceeded", e.Limit)
 }
 
+// Is makes a node-limit trip match guard.ErrBudgetExceeded, so callers
+// classify the whole family of resource exhaustions with one errors.Is.
+func (e *LimitError) Is(target error) bool { return target == guard.ErrBudgetExceeded }
+
+// CancelError is the panic value raised when the manager's bound context
+// (BindContext) is done mid-construction. Guard converts it back into
+// the context's error, so a per-fault deadline expiring inside a BDD
+// product surfaces as context.DeadlineExceeded, not a crash.
+type CancelError struct {
+	Cause error
+}
+
+func (e *CancelError) Error() string { return fmt.Sprintf("bdd: construction canceled: %v", e.Cause) }
+
+// Unwrap exposes the context error for errors.Is classification.
+func (e *CancelError) Unwrap() error { return e.Cause }
+
 // Manager owns the unique table, the operation cache and the variable
 // order of a family of BDDs.
 type Manager struct {
@@ -73,6 +92,14 @@ type Manager struct {
 	limit    int
 	peakSize int
 	met      metrics
+
+	// Per-work-item guards: ctx is polled every ctxCheckStride node
+	// allocations, budget caps allocations since budgetMark. Both zero
+	// values disable the check.
+	ctx        context.Context
+	ctxStrideN int
+	budget     int
+	budgetMark int
 }
 
 // metrics holds the manager's pre-resolved obs handles. The handles are
@@ -87,6 +114,8 @@ type metrics struct {
 	restrictHit, restrictMiss *obs.Counter
 	nodesAlloc                *obs.Counter
 	limitTrips                *obs.Counter
+	budgetTrips               *obs.Counter
+	cancels                   *obs.Counter
 	peakNodes                 *obs.Gauge
 }
 
@@ -100,6 +129,8 @@ type metrics struct {
 //	bdd.restrict.hit / bdd.restrict.miss  Restrict/Compose cache lookups
 //	bdd.nodes.alloc                     decision nodes allocated
 //	bdd.limit.trips                     LimitError guard trips
+//	bdd.budget.trips                    per-work-item node-budget trips
+//	bdd.cancels                         constructions aborted by context
 //	bdd.nodes.peak (gauge)              largest arena observed
 func (m *Manager) Instrument(c *obs.Collector) {
 	if c == nil {
@@ -117,6 +148,8 @@ func (m *Manager) Instrument(c *obs.Collector) {
 		restrictMiss: c.Counter("bdd.restrict.miss"),
 		nodesAlloc:   c.Counter("bdd.nodes.alloc"),
 		limitTrips:   c.Counter("bdd.limit.trips"),
+		budgetTrips:  c.Counter("bdd.budget.trips"),
+		cancels:      c.Counter("bdd.cancels"),
 		peakNodes:    c.Gauge("bdd.nodes.peak"),
 	}
 	m.met.peakNodes.SetMax(int64(len(m.nodes)))
@@ -196,6 +229,55 @@ func Constant(b bool) Ref {
 // IsConst reports whether f is a terminal node.
 func IsConst(f Ref) bool { return f == False || f == True }
 
+// ctxCheckStride is how many node allocations pass between context
+// polls: frequent enough that a deadline aborts a blow-up promptly,
+// sparse enough that the hot path stays one atomic add per event.
+const ctxCheckStride = 1024
+
+// BindContext points the manager at a context. While bound, node
+// allocation polls the context every ctxCheckStride nodes and panics
+// with *CancelError once it is done; Guard converts that back into the
+// context's error. Pass nil to unbind. This is how per-fault deadlines
+// reach into the middle of a BDD product.
+func (m *Manager) BindContext(ctx context.Context) {
+	m.ctx = ctx
+	m.ctxStrideN = 0
+}
+
+// SetNodeBudget caps how many nodes may be allocated from now on: the
+// budget is measured against the arena size at the call, so callers
+// reset it per work item (per fault). Exceeding the budget panics with
+// *guard.BudgetError (resource "bdd-nodes"); Guard converts it into a
+// returned error. A non-positive n removes the budget. The manager's
+// hard node limit stays in force independently.
+func (m *Manager) SetNodeBudget(n int) {
+	if n <= 0 {
+		m.budget = 0
+		return
+	}
+	m.budget = n
+	m.budgetMark = len(m.nodes)
+}
+
+// checkGuards enforces the per-work-item budget and bound context on the
+// allocation path (the only place unbounded growth can happen).
+func (m *Manager) checkGuards() {
+	if m.budget > 0 && len(m.nodes)-m.budgetMark >= m.budget {
+		m.met.budgetTrips.Inc()
+		panic(&guard.BudgetError{Resource: "bdd-nodes", Limit: int64(m.budget)})
+	}
+	if m.ctx != nil {
+		m.ctxStrideN++
+		if m.ctxStrideN >= ctxCheckStride {
+			m.ctxStrideN = 0
+			if err := m.ctx.Err(); err != nil {
+				m.met.cancels.Inc()
+				panic(&CancelError{Cause: err})
+			}
+		}
+	}
+}
+
 // mk returns the canonical node (level, lo, hi), applying the reduction
 // rules (no redundant tests, hash consing).
 func (m *Manager) mk(level int32, lo, hi Ref) Ref {
@@ -208,6 +290,7 @@ func (m *Manager) mk(level int32, lo, hi Ref) Ref {
 		return r
 	}
 	m.met.uniqueMiss.Inc()
+	m.checkGuards()
 	if len(m.nodes) >= m.limit {
 		m.met.limitTrips.Inc()
 		panic(&LimitError{Limit: m.limit})
@@ -489,16 +572,23 @@ func (m *Manager) Eval(f Ref, assign map[string]bool) bool {
 	return f == True
 }
 
-// Guard runs fn, converting a node-limit panic into an error. Any other
-// panic is re-raised.
+// Guard runs fn, converting the manager's controlled aborts — node-limit
+// and node-budget trips, and context cancellation — into returned
+// errors. Any other panic is re-raised: Guard narrows the abort channel,
+// it does not hide bugs (full panic isolation is guard.Do's job).
 func Guard(fn func() error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			if le, ok := r.(*LimitError); ok {
-				err = le
-				return
+			switch e := r.(type) {
+			case *LimitError:
+				err = e
+			case *guard.BudgetError:
+				err = e
+			case *CancelError:
+				err = e
+			default:
+				panic(r)
 			}
-			panic(r)
 		}
 	}()
 	return fn()

@@ -1,0 +1,120 @@
+package bdd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/guard"
+	"repro/internal/obs"
+)
+
+// buildParity builds a chain of XORs over fresh variables — every step
+// allocates new nodes, so budgets and context polls both trigger.
+func buildParity(m *Manager, n int) Ref {
+	acc := False
+	for i := 0; i < n; i++ {
+		acc = m.Xor(acc, m.Var(fmt.Sprintf("v%d", i)))
+	}
+	return acc
+}
+
+func TestNodeBudgetTrips(t *testing.T) {
+	m := New()
+	col := obs.NewCollector()
+	m.Instrument(col)
+	m.SetNodeBudget(8)
+	err := Guard(func() error {
+		buildParity(m, 64)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("construction inside an 8-node budget succeeded")
+	}
+	if !errors.Is(err, guard.ErrBudgetExceeded) {
+		t.Fatalf("budget trip = %v, want ErrBudgetExceeded", err)
+	}
+	var be *guard.BudgetError
+	if !errors.As(err, &be) || be.Resource != "bdd-nodes" {
+		t.Fatalf("budget trip = %v, want resource bdd-nodes", err)
+	}
+	if col.Counter("bdd.budget.trips").Load() == 0 {
+		t.Fatal("bdd.budget.trips not counted")
+	}
+}
+
+func TestNodeBudgetResetPerItem(t *testing.T) {
+	m := New()
+	m.SetNodeBudget(64)
+	for item := 0; item < 8; item++ {
+		m.SetNodeBudget(64) // re-mark: each item gets a fresh allowance
+		if err := Guard(func() error {
+			m.Xor(m.Var(fmt.Sprintf("a%d", item)), m.Var(fmt.Sprintf("b%d", item)))
+			return nil
+		}); err != nil {
+			t.Fatalf("item %d tripped a per-item budget it did not exceed: %v", item, err)
+		}
+	}
+	m.SetNodeBudget(0)
+	if err := Guard(func() error { buildParity(m, 32); return nil }); err != nil {
+		t.Fatalf("budget 0 (disabled) tripped: %v", err)
+	}
+}
+
+func TestBindContextCancels(t *testing.T) {
+	m := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m.BindContext(ctx)
+	err := Guard(func() error {
+		// Needs > ctxCheckStride allocations to reach a poll.
+		buildParity(m, 2*ctxCheckStride)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("construction under a canceled context succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancel = %v, want context.Canceled", err)
+	}
+	m.BindContext(nil)
+	m2 := New()
+	m2.BindContext(nil)
+	if err := Guard(func() error { buildParity(m2, 8); return nil }); err != nil {
+		t.Fatalf("nil-bound manager errored: %v", err)
+	}
+}
+
+func TestDeadlineClassifiesTimedOut(t *testing.T) {
+	m := New()
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	<-ctx.Done()
+	m.BindContext(ctx)
+	err := Guard(func() error {
+		buildParity(m, 2*ctxCheckStride)
+		return nil
+	})
+	out := guard.Classify(ctx, err)
+	if out.Class != guard.TimedOut {
+		t.Fatalf("expired deadline classified as %v (err %v), want TimedOut", out.Class, err)
+	}
+}
+
+func TestLimitErrorMatchesBudgetSentinel(t *testing.T) {
+	m := NewWithLimit(16)
+	err := Guard(func() error { buildParity(m, 64); return nil })
+	if !errors.Is(err, guard.ErrBudgetExceeded) {
+		t.Fatalf("LimitError = %v, does not match ErrBudgetExceeded", err)
+	}
+}
+
+func TestGuardRepanicsForeignPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Guard swallowed a foreign panic")
+		}
+	}()
+	Guard(func() error { panic("not a bdd abort") })
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/adc"
 	"repro/internal/analog"
+	"repro/internal/guard/chaos"
 	"repro/internal/obs"
 	"repro/internal/waveform"
 )
@@ -36,9 +38,25 @@ type ElementTest struct {
 // when "all the possibilities are studied" without success the element is
 // reported untestable through the mixed circuit.
 func (mx *Mixed) TestAnalogElement(p *Propagator, matrix *analog.Matrix, elem string, bound Bound) (ElementTest, error) {
+	return mx.TestAnalogElementCtx(context.Background(), p, matrix, elem, bound)
+}
+
+// TestAnalogElementCtx is TestAnalogElement with cancellation: the
+// context is checked before each parameter/comparator attempt, so a
+// deadline or cancel aborts the search for an activation mid-element
+// instead of grinding through every remaining comparator. The element
+// is also the "core.element" chaos site — fault-injection tests force
+// panics and solver errors here to prove one bad element degrades to a
+// classified outcome rather than killing the run.
+func (mx *Mixed) TestAnalogElementCtx(ctx context.Context, p *Propagator, matrix *analog.Matrix, elem string, bound Bound) (ElementTest, error) {
 	defer obs.Default.StartSpan("core.element_test").End()
 	start := time.Now()
 	res := ElementTest{Element: elem, Bound: bound}
+	if err := chaos.Step(ctx, "core.element", elem); err != nil {
+		return res, fmt.Errorf("core: testing %s: %w", elem, err)
+	}
+	mx.Analog.BindContext(ctx)
+	defer mx.Analog.BindContext(nil)
 	order := matrix.ParamsFor(elem)
 	if len(order) == 0 {
 		res.Reason = "unobservable"
@@ -53,6 +71,9 @@ func (mx *Mixed) TestAnalogElement(p *Propagator, matrix *analog.Matrix, elem st
 			continue
 		}
 		for target := 1; target <= mx.Conv.NumComparators(); target++ {
+			if err := ctx.Err(); err != nil {
+				return res, fmt.Errorf("core: testing %s: %w", elem, err)
+			}
 			act, ok, err := mx.PlanActivation(elem, ed*1.0001, param, bound, target)
 			if err != nil {
 				return res, fmt.Errorf("core: activating %s via %s: %w", elem, param.Name(), err)

@@ -1,0 +1,107 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/guard"
+)
+
+func TestDecideDeterministic(t *testing.T) {
+	a := New(7, 0.5)
+	b := New(7, 0.5)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("fault-%d", i)
+		if a.Decide("site", key) != b.Decide("site", key) {
+			t.Fatalf("two injectors with the same seed disagree on %q", key)
+		}
+	}
+}
+
+func TestDecideProbability(t *testing.T) {
+	in := New(42, 0.1)
+	fired := 0
+	for i := 0; i < 1000; i++ {
+		if in.Decide("atpg.fault", fmt.Sprintf("f%d", i)) != None {
+			fired++
+		}
+	}
+	// 10% nominal; allow wide slack, the point is "some but not most".
+	if fired < 50 || fired > 200 {
+		t.Fatalf("prob 0.1 fired on %d/1000 keys", fired)
+	}
+	if New(42, 0).Decide("s", "k") != None {
+		t.Fatal("prob 0 fired")
+	}
+}
+
+func TestSiteRestriction(t *testing.T) {
+	in := New(1, 1, AtSites("mna.solve"))
+	if in.Decide("atpg.fault", "k") != None {
+		t.Fatal("site restriction ignored")
+	}
+	if in.Decide("mna.solve", "k") == None {
+		t.Fatal("restricted site never fires at prob 1")
+	}
+}
+
+func TestFireActions(t *testing.T) {
+	if err := Step(context.Background(), "s", "k"); err != nil {
+		t.Fatalf("Step without injector = %v, want nil", err)
+	}
+
+	in := New(1, 1, WithAction(Budget))
+	err := in.Fire("s", "k")
+	if !errors.Is(err, guard.ErrBudgetExceeded) {
+		t.Fatalf("Budget action = %v, want ErrBudgetExceeded", err)
+	}
+
+	in = New(1, 1, WithAction(Timeout))
+	if err := in.Fire("s", "k"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Timeout action = %v, want DeadlineExceeded", err)
+	}
+
+	in = New(1, 1, WithAction(Panic))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Panic action did not panic")
+			}
+		}()
+		in.Fire("s", "k")
+	}()
+}
+
+func TestStepThroughContext(t *testing.T) {
+	ctx := Into(context.Background(), New(3, 1, WithAction(Error)))
+	if err := Step(ctx, "s", "k"); err == nil {
+		t.Fatal("Step with injector at prob 1 returned nil")
+	}
+	if From(ctx) == nil {
+		t.Fatal("From lost the injector")
+	}
+}
+
+func TestGuardIntegration(t *testing.T) {
+	// Every chaos action lands in the guard classification it targets.
+	cases := []struct {
+		action Action
+		class  guard.Class
+	}{
+		{Panic, guard.Aborted},
+		{Error, guard.Aborted},
+		{Budget, guard.Aborted},
+		{Timeout, guard.TimedOut},
+	}
+	for _, c := range cases {
+		ctx := Into(context.Background(), New(5, 1, WithAction(c.action)))
+		out := guard.Do(ctx, nil, "item", func(ctx context.Context) error {
+			return Step(ctx, "site", "key")
+		})
+		if out.Class != c.class {
+			t.Fatalf("action %v classified as %v, want %v", c.action, out.Class, c.class)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package guard
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	cp, err := OpenCheckpoint(path, "test:c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Key: "l1 s-a-0", Outcome: "tested", Vector: "0101"},
+		{Key: "l2 s-a-1", Outcome: "dropped"},
+		{Key: "l3 s-a-0", Outcome: "no-difference"},
+	}
+	for _, r := range recs {
+		if err := cp.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenCheckpoint(path, "test:c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != len(recs) {
+		t.Fatalf("resumed Len = %d, want %d", re.Len(), len(recs))
+	}
+	for _, want := range recs {
+		got, ok := re.Lookup(want.Key)
+		if !ok || got != want {
+			t.Fatalf("Lookup(%q) = %+v/%v, want %+v", want.Key, got, ok, want)
+		}
+	}
+	if _, ok := re.Lookup("l9 s-a-1"); ok {
+		t.Fatal("Lookup found a record never put")
+	}
+}
+
+func TestCheckpointScopeMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	cp, err := OpenCheckpoint(path, "scope-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Put(Record{Key: "k", Outcome: "tested"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpoint(path, "scope-b"); err == nil {
+		t.Fatal("OpenCheckpoint accepted a checkpoint from a different scope")
+	} else if !strings.Contains(err.Error(), "scope-a") {
+		t.Fatalf("scope error does not name the recorded scope: %v", err)
+	}
+}
+
+func TestCheckpointAutoFlush(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	cp, err := OpenCheckpoint(path, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.flushEvery = 2
+	cp.Put(Record{Key: "a", Outcome: "tested"})
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("checkpoint flushed before the batch threshold")
+	}
+	cp.Put(Record{Key: "b", Outcome: "tested"})
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("checkpoint not flushed at the batch threshold: %v", err)
+	}
+}
+
+func TestCheckpointNilSafe(t *testing.T) {
+	var cp *Checkpoint
+	if err := cp.Put(Record{Key: "k", Outcome: "o"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Len() != 0 {
+		t.Fatal("nil checkpoint has nonzero Len")
+	}
+	if _, ok := cp.Lookup("k"); ok {
+		t.Fatal("nil checkpoint resolved a lookup")
+	}
+}
+
+func TestDecodeCheckpointRejects(t *testing.T) {
+	bad := []string{
+		`{`,                          // malformed JSON
+		`{"version":99,"scope":"s"}`, // unknown version
+		`{"version":1,"scope":"s","records":[{"key":"","outcome":"tested"}]}`, // empty key
+		`{"version":1,"scope":"s","records":[{"key":"k","outcome":""}]}`,      // empty outcome
+	}
+	for _, s := range bad {
+		if _, err := DecodeCheckpoint([]byte(s)); err == nil {
+			t.Fatalf("DecodeCheckpoint accepted %q", s)
+		}
+	}
+	if _, err := DecodeCheckpoint([]byte(`{"version":1,"scope":"s","records":[{"key":"k","outcome":"tested"}]}`)); err != nil {
+		t.Fatalf("DecodeCheckpoint rejected a valid document: %v", err)
+	}
+}

@@ -1,0 +1,49 @@
+//go:build gofuzz
+
+package guard
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzCheckpointDecode feeds arbitrary bytes to the checkpoint decoder,
+// the single entry point for untrusted checkpoint files. It must reject
+// malformed documents with an error — never panic — and anything it
+// accepts must satisfy the invariants the resume path relies on
+// (supported version, nonempty keys and outcomes) and survive an
+// encode/decode round trip.
+//
+// Run with: go test -tags gofuzz -fuzz FuzzCheckpointDecode ./internal/guard
+func FuzzCheckpointDecode(f *testing.F) {
+	f.Add([]byte(`{"version":1,"scope":"msatpg:bandpass:fig3","records":[]}`))
+	f.Add([]byte(`{"version":1,"scope":"s","records":[{"key":"n1/sa0","outcome":"tested","vector":"0110"}]}`))
+	f.Add([]byte(`{"version":2,"scope":"s","records":[]}`))
+	f.Add([]byte(`{"version":1,"records":[{"key":"","outcome":"tested"}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cf, err := DecodeCheckpoint(data)
+		if err != nil {
+			return
+		}
+		for i, r := range cf.Records {
+			if r.Key == "" || r.Outcome == "" {
+				t.Fatalf("accepted record %d with empty key/outcome: %+v", i, r)
+			}
+		}
+		// Accepted documents must survive re-encoding.
+		out, merr := json.Marshal(cf)
+		if merr != nil {
+			t.Fatalf("accepted checkpoint does not re-marshal: %v", merr)
+		}
+		cf2, derr := DecodeCheckpoint(out)
+		if derr != nil {
+			t.Fatalf("re-encoded checkpoint rejected: %v\n%s", derr, out)
+		}
+		if len(cf2.Records) != len(cf.Records) || cf2.Scope != cf.Scope {
+			t.Fatalf("round trip changed document: %+v vs %+v", cf, cf2)
+		}
+	})
+}

@@ -1,0 +1,41 @@
+//go:build gofuzz
+
+package iscas
+
+import "testing"
+
+// FuzzGenerate drives the synthetic-benchmark generator with arbitrary
+// profiles. Generate validates its profile at the boundary, so any
+// input must either return an error or a frozen, simulatable circuit —
+// never panic.
+//
+// Run with: go test -tags gofuzz -fuzz FuzzGenerate ./internal/iscas
+func FuzzGenerate(f *testing.F) {
+	f.Add(5, 2, 20, 0.25, 1, 1, 3, 1, int64(7))
+	f.Add(36, 7, 160, 0.0, 0, 1, 4, 2, int64(432))
+	f.Add(1, 1, 1, 1.0, 0, 0, 0, 0, int64(0))
+	f.Add(-1, 0, 0, -0.5, -3, -1, -2, 9, int64(1))
+	f.Fuzz(func(t *testing.T, pi, po, gates int, xorFrac float64, adderPOs, redundant, subW, gatedPairs int, seed int64) {
+		// Cap the structural knobs: the generator's cost grows with
+		// them, and fuzzing is after crashes, not big circuits.
+		const cap = 512
+		if pi > cap || po > cap || gates > 8*cap || redundant > cap || subW > cap || gatedPairs > cap || adderPOs > cap {
+			t.Skip()
+		}
+		p := Profile{
+			Name: "fuzz", PI: pi, PO: po, Gates: gates,
+			XorFrac: xorFrac, AdderPOs: adderPOs, Redundant: redundant,
+			SubW: subW, GatedPairs: gatedPairs, Seed: seed,
+		}
+		c, err := Generate(p)
+		if err != nil {
+			return
+		}
+		if c == nil {
+			t.Fatalf("Generate(%+v) returned nil circuit and nil error", p)
+		}
+		if got := len(c.Inputs()); got != pi {
+			t.Fatalf("Generate(%+v): %d inputs, want %d", p, got, pi)
+		}
+	})
+}

@@ -68,7 +68,7 @@ func Benchmark(name string) (*logic.Circuit, error) {
 	if !ok {
 		return nil, fmt.Errorf("iscas: unknown benchmark %q", name)
 	}
-	return Generate(p), nil
+	return Generate(p)
 }
 
 // MustBenchmark is Benchmark for known-good names.
@@ -127,7 +127,13 @@ func (g *gen) leaves(k int) []string {
 // absorption gadgets then inject the published handful of untestable
 // faults, and Profile.Expand rewrites XORs into NAND cells (the
 // c499→c1355 relationship).
-func Generate(p Profile) *logic.Circuit {
+//
+// Profiles are data (flags, config files, fuzzers), so an invalid one
+// returns an error instead of panicking somewhere inside the builder.
+func Generate(p Profile) (*logic.Circuit, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
 	g := &gen{rng: rand.New(rand.NewSource(p.Seed)), c: logic.New(p.Name)}
 	var reserved []string
 	for i := 0; i < p.PI; i++ {
@@ -208,11 +214,59 @@ func Generate(p Profile) *logic.Circuit {
 		g.c.AddGate(out, logic.TypeBuf, r)
 		g.c.MarkOutput(out)
 	}
-	cc := g.c.MustFreeze()
+	cc, err := freeze(g.c)
+	if err != nil {
+		return nil, err
+	}
 	if p.Expand {
 		cc = ExpandXors(cc)
 	}
-	return cc
+	return cc, nil
+}
+
+// freeze finalizes the generated circuit, returning (not panicking on)
+// freeze failures — a profile the validator missed must still surface
+// as an error from Generate.
+func freeze(c *logic.Circuit) (*logic.Circuit, error) {
+	if err := c.Freeze(); err != nil {
+		return nil, fmt.Errorf("iscas: generated circuit invalid: %w", err)
+	}
+	return c, nil
+}
+
+// validate rejects profiles the generator cannot honor. The bounds are
+// structural: every lane needs at least one free (non-reserved) input,
+// adder lanes cannot exceed the output count, and the probabilistic
+// knobs must be well-formed.
+func (p Profile) validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("iscas: profile has no name")
+	case p.PI < 1:
+		return fmt.Errorf("iscas: profile %s: PI = %d, need at least 1", p.Name, p.PI)
+	case p.PO < 1:
+		return fmt.Errorf("iscas: profile %s: PO = %d, need at least 1", p.Name, p.PO)
+	case p.Gates < 1:
+		return fmt.Errorf("iscas: profile %s: Gates = %d, need at least 1", p.Name, p.Gates)
+	case p.XorFrac < 0 || p.XorFrac > 1:
+		return fmt.Errorf("iscas: profile %s: XorFrac = %g outside [0, 1]", p.Name, p.XorFrac)
+	case p.AdderPOs < 0 || p.AdderPOs > p.PO:
+		return fmt.Errorf("iscas: profile %s: AdderPOs = %d outside [0, PO=%d]", p.Name, p.AdderPOs, p.PO)
+	case p.AdderPOs > 0 && 2*max(1, p.AdderPOs-1)+1 > p.PI-2*p.GatedPairs:
+		// The ripple-adder lane reads 2w+1 distinct inputs (w sum bits
+		// plus carry-in); fewer free inputs than that would make the
+		// builder index past the input band.
+		return fmt.Errorf("iscas: profile %s: AdderPOs = %d needs %d free inputs, have %d",
+			p.Name, p.AdderPOs, 2*max(1, p.AdderPOs-1)+1, p.PI-2*p.GatedPairs)
+	case p.Redundant < 0:
+		return fmt.Errorf("iscas: profile %s: Redundant = %d is negative", p.Name, p.Redundant)
+	case p.SubW < 0:
+		return fmt.Errorf("iscas: profile %s: SubW = %d is negative", p.Name, p.SubW)
+	case p.GatedPairs < 0 || p.PI-2*p.GatedPairs < 1:
+		return fmt.Errorf("iscas: profile %s: GatedPairs = %d leaves no free inputs (PI = %d)",
+			p.Name, p.GatedPairs, p.PI)
+	}
+	return nil
 }
 
 // lane builds one read-once lane over the given distinct leaves: the

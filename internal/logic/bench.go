@@ -31,6 +31,7 @@ func ParseBench(name string, r io.Reader) (*Circuit, error) {
 	}
 	var gates []pendingGate
 	declared := map[string]bool{}
+	defined := map[string]bool{} // gate lhs names seen so far
 
 	for sc.Scan() {
 		lineNo++
@@ -44,6 +45,9 @@ func ParseBench(name string, r io.Reader) (*Circuit, error) {
 			arg, err := parseParen(line)
 			if err != nil {
 				return nil, fmt.Errorf("logic: %s:%d: %v", name, lineNo, err)
+			}
+			if declared[arg] {
+				return nil, fmt.Errorf("logic: %s:%d: duplicate INPUT(%s)", name, lineNo, arg)
 			}
 			c.AddInput(arg)
 			declared[arg] = true
@@ -78,11 +82,36 @@ func ParseBench(name string, r io.Reader) (*Circuit, error) {
 				}
 				fanins = append(fanins, f)
 			}
+			// Validate here, at the untrusted-input boundary: the builder
+			// API panics on these, which is right for programmatic
+			// construction but must not be reachable from a netlist file.
+			if lhs == "" {
+				return nil, fmt.Errorf("logic: %s:%d: empty gate name in %q", name, lineNo, line)
+			}
+			if declared[lhs] {
+				return nil, fmt.Errorf("logic: %s:%d: gate %q redefines an input", name, lineNo, lhs)
+			}
+			if defined[lhs] {
+				return nil, fmt.Errorf("logic: %s:%d: duplicate definition of %q", name, lineNo, lhs)
+			}
+			if !t.arityOK(len(fanins)) {
+				return nil, fmt.Errorf("logic: %s:%d: %s cannot take %d fanins", name, lineNo, kw, len(fanins))
+			}
 			gates = append(gates, pendingGate{name: lhs, t: t, fanins: fanins, line: lineNo})
+			defined[lhs] = true
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("logic: reading %s: %w", name, err)
+	}
+
+	// A gate may collide with an INPUT declared after it in the file;
+	// catch that now that every declaration has been seen.
+	for i := range gates {
+		if declared[gates[i].name] {
+			return nil, fmt.Errorf("logic: %s:%d: gate %q redefines an input",
+				name, gates[i].line, gates[i].name)
+		}
 	}
 
 	// Gates may appear before their fanins in .bench files; add them in

@@ -1,0 +1,46 @@
+//go:build gofuzz
+
+package logic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseBench throws arbitrary bytes at the .bench netlist parser.
+// ParseBench is the untrusted-input boundary: whatever the file says, it
+// must return an error, never panic, and an accepted circuit must
+// round-trip through WriteBench.
+//
+// Run with: go test -tags gofuzz -fuzz FuzzParseBench ./internal/logic
+func FuzzParseBench(f *testing.F) {
+	f.Add("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n")
+	f.Add("# comment\nINPUT(G1)\nOUTPUT(G17)\nG10 = NAND(G1, G1)\nG17 = NOT(G10)\n")
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = XOR(a, a)\n")
+	f.Add("y = AND(a, b)\nINPUT(a)\nINPUT(b)\nOUTPUT(y)\n")
+	f.Add("INPUT(a)\nINPUT(a)\n")
+	f.Add("a = NOT(a)\n")
+	f.Add("INPUT(a)\nOUTPUT(b)\n")
+	f.Add("=")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseBench("fuzz", strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		// Accepted circuits must be well-formed enough to re-emit and
+		// re-parse to the same shape.
+		var buf bytes.Buffer
+		if werr := c.WriteBench(&buf); werr != nil {
+			t.Fatalf("accepted circuit fails WriteBench: %v\ninput:\n%s", werr, src)
+		}
+		c2, perr := ParseBench("fuzz2", bytes.NewReader(buf.Bytes()))
+		if perr != nil {
+			t.Fatalf("WriteBench output does not re-parse: %v\nemitted:\n%s\noriginal:\n%s", perr, buf.String(), src)
+		}
+		if c2.NumGates() != c.NumGates() || len(c2.Inputs()) != len(c.Inputs()) {
+			t.Fatalf("round-trip changed shape: %d/%d gates, %d/%d inputs\ninput:\n%s",
+				c.NumGates(), c2.NumGates(), len(c.Inputs()), len(c2.Inputs()), src)
+		}
+	})
+}

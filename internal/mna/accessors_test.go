@@ -92,19 +92,22 @@ func TestElementKindStrings(t *testing.T) {
 	}
 }
 
-func TestNonPositiveCLPanics(t *testing.T) {
-	for _, fn := range []func(){
-		func() { New("c").AddC("C", "a", "0", 0) },
-		func() { New("l").AddL("L", "a", "0", -1) },
+func TestNonPositiveCLRecordsError(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		build func(*Circuit)
+	}{
+		{"c", func(c *Circuit) { c.AddC("C", "a", "0", 0) }},
+		{"l", func(c *Circuit) { c.AddL("L", "a", "0", -1) }},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("expected panic")
-				}
-			}()
-			fn()
-		}()
+		c := New(tc.name)
+		tc.build(c)
+		if c.Err() == nil {
+			t.Errorf("%s: expected construction error for non-positive value", tc.name)
+		}
+		if c.NumElements() != 0 {
+			t.Errorf("%s: invalid element was added", tc.name)
+		}
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 	"math"
 	"math/cmplx"
 
+	"repro/internal/guard"
+	"repro/internal/guard/chaos"
 	"repro/internal/numeric"
 	"repro/internal/obs"
 )
@@ -163,8 +165,28 @@ var (
 	hSolveSize = obs.Default.Histogram("mna.solve.size")
 )
 
-// solve runs the analysis at angular frequency omega.
+// solve runs the analysis at angular frequency omega. It fails fast on
+// a recorded construction error, a done bound context, or an exhausted
+// solve budget — the hardened-execution entry point for analog work.
 func (c *Circuit) solve(omega, freq float64) (*Solution, error) {
+	if c.buildErr != nil {
+		return nil, fmt.Errorf("mna: circuit %q has a construction error: %w", c.name, c.buildErr)
+	}
+	if c.ctx != nil {
+		if err := c.ctx.Err(); err != nil {
+			return nil, fmt.Errorf("mna: circuit %q: %w", c.name, err)
+		}
+		if err := chaos.Step(c.ctx, "mna.solve", c.name); err != nil {
+			return nil, fmt.Errorf("mna: circuit %q: %w", c.name, err)
+		}
+	}
+	if c.budget > 0 {
+		if c.solves >= c.budget {
+			return nil, fmt.Errorf("mna: circuit %q: %w", c.name,
+				&guard.BudgetError{Resource: "mna-solves", Limit: c.budget})
+		}
+		c.solves++
+	}
 	if freq == 0 {
 		cSolvesDC.Inc()
 	} else {

@@ -1,18 +1,31 @@
 package mna
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
 
 // Circuit is a linear analog circuit under construction or analysis.
 // The zero value is not usable; create circuits with New.
+//
+// Construction errors (duplicate names, non-positive component values)
+// do not panic: the offending element is skipped and the first error is
+// recorded. Check Err after building, or let any analysis surface it —
+// every solve fails fast on a circuit with a recorded build error. This
+// keeps the fluent AddR/AddC/... style usable on untrusted input
+// (netlists, generated profiles) without a recover at every call site.
 type Circuit struct {
 	name     string
 	nodes    map[string]int // node name → index; ground is 0
 	nodeName []string       // index → canonical name
 	elems    []*element
 	byName   map[string]*element
+
+	buildErr error           // first construction error, sticky
+	ctx      context.Context // optional cancellation for analyses
+	budget   int64           // max solves when > 0
+	solves   int64           // solves performed under the budget
 }
 
 // New returns an empty circuit with the given descriptive name.
@@ -28,6 +41,30 @@ func New(name string) *Circuit {
 
 // Name returns the circuit's descriptive name.
 func (c *Circuit) Name() string { return c.name }
+
+// Err returns the first construction error recorded while building the
+// circuit, or nil. Elements that failed validation were not added.
+func (c *Circuit) Err() error { return c.buildErr }
+
+// fail records a construction error (first one wins) and reports that
+// the current element must be skipped.
+func (c *Circuit) fail(format string, args ...any) {
+	if c.buildErr == nil {
+		c.buildErr = fmt.Errorf(format, args...)
+	}
+}
+
+// BindContext attaches a context checked at each solve; analyses fail
+// with the context's error once it is done. A nil ctx detaches.
+func (c *Circuit) BindContext(ctx context.Context) { c.ctx = ctx }
+
+// SetSolveBudget caps the number of linear solves this circuit may run.
+// The count starts from the call; n <= 0 removes the cap. When the cap
+// is exceeded, analyses fail with a guard.BudgetError for "mna-solves".
+func (c *Circuit) SetSolveBudget(n int64) {
+	c.budget = n
+	c.solves = 0
+}
 
 // NumNodes returns the number of non-ground nodes.
 func (c *Circuit) NumNodes() int { return len(c.nodeName) - 1 }
@@ -51,7 +88,8 @@ func (c *Circuit) node(name string) int {
 
 func (c *Circuit) add(e *element) {
 	if _, dup := c.byName[e.name]; dup {
-		panic(fmt.Sprintf("mna: duplicate element name %q in circuit %q", e.name, c.name))
+		c.fail("mna: duplicate element name %q in circuit %q", e.name, c.name)
+		return
 	}
 	c.byName[e.name] = e
 	c.elems = append(c.elems, e)
@@ -60,7 +98,8 @@ func (c *Circuit) add(e *element) {
 // AddR adds a resistor of r ohms between nodes a and b.
 func (c *Circuit) AddR(name, a, b string, r float64) {
 	if r <= 0 {
-		panic(fmt.Sprintf("mna: resistor %q must have positive resistance, got %g", name, r))
+		c.fail("mna: resistor %q must have positive resistance, got %g", name, r)
+		return
 	}
 	c.add(&element{kind: KindResistor, name: name, value: r, a: c.node(a), b: c.node(b), branch: -1})
 }
@@ -68,7 +107,8 @@ func (c *Circuit) AddR(name, a, b string, r float64) {
 // AddC adds a capacitor of f farads between nodes a and b.
 func (c *Circuit) AddC(name, a, b string, f float64) {
 	if f <= 0 {
-		panic(fmt.Sprintf("mna: capacitor %q must have positive capacitance, got %g", name, f))
+		c.fail("mna: capacitor %q must have positive capacitance, got %g", name, f)
+		return
 	}
 	c.add(&element{kind: KindCapacitor, name: name, value: f, a: c.node(a), b: c.node(b), branch: -1})
 }
@@ -76,7 +116,8 @@ func (c *Circuit) AddC(name, a, b string, f float64) {
 // AddL adds an inductor of h henries between nodes a and b.
 func (c *Circuit) AddL(name, a, b string, h float64) {
 	if h <= 0 {
-		panic(fmt.Sprintf("mna: inductor %q must have positive inductance, got %g", name, h))
+		c.fail("mna: inductor %q must have positive inductance, got %g", name, h)
+		return
 	}
 	c.add(&element{kind: KindInductor, name: name, value: h, a: c.node(a), b: c.node(b), branch: -1})
 }

@@ -1,0 +1,64 @@
+package mna
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/guard"
+	"repro/internal/guard/chaos"
+)
+
+func divider() *Circuit {
+	c := New("div")
+	c.AddV("Vin", "in", "0", 1, 1)
+	c.AddR("R1", "in", "out", 1e3)
+	c.AddR("R2", "out", "0", 1e3)
+	return c
+}
+
+func TestSolveBudget(t *testing.T) {
+	c := divider()
+	c.SetSolveBudget(2)
+	for i := 0; i < 2; i++ {
+		if _, err := c.DC(); err != nil {
+			t.Fatalf("solve %d under budget failed: %v", i, err)
+		}
+	}
+	_, err := c.DC()
+	if !errors.Is(err, guard.ErrBudgetExceeded) {
+		t.Fatalf("over-budget solve = %v, want ErrBudgetExceeded", err)
+	}
+	var be *guard.BudgetError
+	if !errors.As(err, &be) || be.Resource != "mna-solves" {
+		t.Fatalf("over-budget solve = %v, want resource mna-solves", err)
+	}
+	c.SetSolveBudget(0)
+	if _, err := c.DC(); err != nil {
+		t.Fatalf("budget removal did not reset: %v", err)
+	}
+}
+
+func TestSolveHonorsContext(t *testing.T) {
+	c := divider()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c.BindContext(ctx)
+	if _, err := c.DC(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("solve under canceled context = %v, want context.Canceled", err)
+	}
+	c.BindContext(nil)
+	if _, err := c.DC(); err != nil {
+		t.Fatalf("detached context still failing: %v", err)
+	}
+}
+
+func TestSolveChaosSite(t *testing.T) {
+	c := divider()
+	ctx := chaos.Into(context.Background(),
+		chaos.New(1, 1, chaos.AtSites("mna.solve"), chaos.WithAction(chaos.Error)))
+	c.BindContext(ctx)
+	if _, err := c.DC(); err == nil {
+		t.Fatal("chaos at mna.solve with prob 1 did not fire")
+	}
+}

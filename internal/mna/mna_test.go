@@ -223,24 +223,33 @@ func TestElementNamesFiltered(t *testing.T) {
 	}
 }
 
-func TestDuplicateElementPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for duplicate element name")
-		}
-	}()
+func TestDuplicateElementRecordsError(t *testing.T) {
 	c := New("dup")
 	c.AddR("R1", "a", "0", 1)
 	c.AddR("R1", "b", "0", 1)
+	if c.Err() == nil {
+		t.Fatal("expected a construction error for duplicate element name")
+	}
+	if c.NumElements() != 1 {
+		t.Fatalf("duplicate was added anyway: %d elements", c.NumElements())
+	}
+	if _, err := c.DC(); err == nil {
+		t.Fatal("DC on a broken circuit succeeded")
+	}
 }
 
-func TestNonPositiveResistorPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for non-positive resistance")
-		}
-	}()
-	New("bad").AddR("R1", "a", "0", 0)
+func TestNonPositiveResistorRecordsError(t *testing.T) {
+	c := New("bad")
+	c.AddR("R1", "a", "0", 0)
+	if c.Err() == nil {
+		t.Fatal("expected a construction error for non-positive resistance")
+	}
+	if c.HasElement("R1") {
+		t.Fatal("invalid resistor was added anyway")
+	}
+	if _, err := c.DC(); err == nil {
+		t.Fatal("DC on a broken circuit succeeded")
+	}
 }
 
 func TestUnknownNodePanics(t *testing.T) {

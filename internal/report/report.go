@@ -33,6 +33,7 @@ const DefaultTopSlowest = 10
 type FaultRecord struct {
 	Name         string `json:"name"`
 	Outcome      string `json:"outcome"`
+	Reason       string `json:"reason,omitempty"` // degradation reason for aborted/timed-out
 	LatencyNs    int64  `json:"latency_ns"`
 	ProductNodes int64  `json:"product_nodes,omitempty"` // OBDD size of S = ∂F/∂l·f_l·Fc
 	Vector       string `json:"vector,omitempty"`
@@ -45,6 +46,16 @@ type FaultSection struct {
 	Dropped int `json:"dropped"`          // detected by an earlier vector, never targeted
 	Random  int `json:"random,omitempty"` // detected by the random phase
 	Aborted int `json:"aborted"`
+	// TimedOut counts faults whose per-fault or run deadline expired —
+	// kept apart from Aborted (panic/budget/error) because the fixes
+	// differ: more time versus more budget or a bug report.
+	TimedOut int `json:"timed_out,omitempty"`
+	// Resumed counts faults restored from a checkpoint instead of being
+	// recomputed; each is also tallied under its original outcome.
+	Resumed int `json:"resumed,omitempty"`
+	// AbortReasons histograms the degradation reasons ("panic",
+	// "budget:bdd-nodes", "deadline", "canceled", ...).
+	AbortReasons map[string]int `json:"abort_reasons,omitempty"`
 	// Untestable splits by reason: "constrained-out" (testable without
 	// Fc, killed by the conversion constraints) vs "no-difference" (no
 	// output ever differs). Reasons holds the histogram.
@@ -90,6 +101,9 @@ type Headline struct {
 	PeakNodes     int64   `json:"peak_nodes,omitempty"`
 	NodesAlloc    int64   `json:"nodes_alloc,omitempty"`
 	MNASolves     int64   `json:"mna_solves,omitempty"`
+	Retries       int64   `json:"retries,omitempty"`       // guard.retries: extra attempts spent on aborts
+	Panics        int64   `json:"panics,omitempty"`        // guard.panics: recovered panics
+	BudgetTrips   int64   `json:"budget_trips,omitempty"`  // bdd.budget.trips: node-budget aborts
 	SpansDropped  int64   `json:"spans_dropped,omitempty"`
 	EventsDropped int64   `json:"events_dropped,omitempty"`
 }
@@ -134,6 +148,9 @@ func Build(s *obs.Snapshot, opts ...Option) *Report {
 			PeakNodes:     s.Gauges["bdd.nodes.peak"],
 			NodesAlloc:    s.Counters["bdd.nodes.alloc"],
 			MNASolves:     s.Counters["mna.solves.dc"] + s.Counters["mna.solves.ac"],
+			Retries:       s.Counters["guard.retries"],
+			Panics:        s.Counters["guard.panics"],
+			BudgetTrips:   s.Counters["bdd.budget.trips"],
 			SpansDropped:  s.SpansDropped,
 			EventsDropped: s.EventsDropped,
 		},
@@ -150,20 +167,27 @@ func buildFaults(s *obs.Snapshot, topN int) *FaultSection {
 		if ev.Kind != "fault" {
 			continue
 		}
-		recs = append(recs, FaultRecord{
+		rec := FaultRecord{
 			Name:         ev.Name,
 			Outcome:      ev.Attr("outcome"),
+			Reason:       ev.Attr("reason"),
 			LatencyNs:    ev.DurNs,
 			ProductNodes: atoi(ev.Attr("product_nodes")),
 			Vector:       ev.Attr("vector"),
-		})
+		}
+		if rec.Outcome == "resumed" {
+			// A checkpoint restoration counts under its original outcome
+			// (the "was" attr) so coverage matches a from-scratch run.
+			rec.Reason = ev.Attr("was")
+		}
+		recs = append(recs, rec)
 	}
 	if len(recs) == 0 {
 		return nil
 	}
-	sec := &FaultSection{Total: len(recs), Reasons: map[string]int{}}
-	for _, rec := range recs {
-		switch rec.Outcome {
+	sec := &FaultSection{Total: len(recs), Reasons: map[string]int{}, AbortReasons: map[string]int{}}
+	classify := func(outcome, reason string) {
+		switch outcome {
 		case "tested":
 			sec.Tested++
 		case "dropped":
@@ -172,13 +196,34 @@ func buildFaults(s *obs.Snapshot, topN int) *FaultSection {
 			sec.Random++
 		case "aborted":
 			sec.Aborted++
+			if reason == "" {
+				reason = "error"
+			}
+			sec.AbortReasons[reason]++
+		case "timed-out":
+			sec.TimedOut++
+			if reason == "" {
+				reason = "deadline"
+			}
+			sec.AbortReasons[reason]++
 		default: // an untestability reason: "constrained-out", "no-difference", ...
 			sec.Untestable++
-			sec.Reasons[rec.Outcome]++
+			sec.Reasons[outcome]++
 		}
+	}
+	for _, rec := range recs {
+		if rec.Outcome == "resumed" {
+			sec.Resumed++
+			classify(rec.Reason, "")
+			continue
+		}
+		classify(rec.Outcome, rec.Reason)
 	}
 	if len(sec.Reasons) == 0 {
 		sec.Reasons = nil
+	}
+	if len(sec.AbortReasons) == 0 {
+		sec.AbortReasons = nil
 	}
 	if den := sec.Total - sec.Untestable; den > 0 {
 		sec.Coverage = float64(sec.Tested+sec.Dropped+sec.Random) / float64(den)
@@ -285,8 +330,17 @@ func (r *Report) WriteText(w io.Writer) error {
 	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
 	p("run report (%s)\n", r.GeneratedAt.Format(time.RFC3339))
 	if f := r.Faults; f != nil {
-		p("\ndigital stuck-at faults: %d total — %d tested, %d dropped, %d random, %d untestable, %d aborted (coverage %.1f%%)\n",
-			f.Total, f.Tested, f.Dropped, f.Random, f.Untestable, f.Aborted, 100*f.Coverage)
+		p("\ndigital stuck-at faults: %d total — %d tested, %d dropped, %d random, %d untestable, %d aborted, %d timed-out (coverage %.1f%%)\n",
+			f.Total, f.Tested, f.Dropped, f.Random, f.Untestable, f.Aborted, f.TimedOut, 100*f.Coverage)
+		if f.Resumed > 0 {
+			p("  resumed from checkpoint: %d (not recomputed)\n", f.Resumed)
+		}
+		if len(f.AbortReasons) > 0 {
+			p("  degradation reasons:\n")
+			for _, reason := range sortedKeys(f.AbortReasons) {
+				p("    %-16s %d\n", reason, f.AbortReasons[reason])
+			}
+		}
 		if len(f.Reasons) > 0 {
 			p("  untestability reasons:\n")
 			for _, reason := range sortedKeys(f.Reasons) {
@@ -331,6 +385,10 @@ func (r *Report) WriteText(w io.Writer) error {
 	m := r.Metrics
 	p("\nengine: ITE hit %.1f%%, unique hit %.1f%%, peak nodes %d, nodes alloc %d, MNA solves %d\n",
 		100*m.ITEHitRate, 100*m.UniqueHitRate, m.PeakNodes, m.NodesAlloc, m.MNASolves)
+	if m.Retries > 0 || m.Panics > 0 || m.BudgetTrips > 0 {
+		p("robustness: %d retries, %d recovered panics, %d BDD budget trips\n",
+			m.Retries, m.Panics, m.BudgetTrips)
+	}
 	if m.SpansDropped > 0 || m.EventsDropped > 0 {
 		p("warning: trace truncated — %d spans and %d events dropped (raise the caps)\n",
 			m.SpansDropped, m.EventsDropped)

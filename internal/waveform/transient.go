@@ -1,9 +1,11 @@
 package waveform
 
 import (
+	"context"
 	"fmt"
 	"math/cmplx"
 
+	"repro/internal/guard/chaos"
 	"repro/internal/mna"
 	"repro/internal/numeric"
 	"repro/internal/obs"
@@ -29,6 +31,14 @@ var (
 // step the comparator outputs are valid — complementing the steady-state
 // phasor analysis used everywhere else.
 func StepResponse(c *mna.Circuit, out string, window float64, n int) ([]float64, error) {
+	return StepResponseCtx(context.Background(), c, out, window, n)
+}
+
+// StepResponseCtx is StepResponse with cancellation: the context is
+// polled before every frequency sample, so a deadline or cancel aborts
+// a long transient mid-sweep instead of running the full n/2+1 solves.
+// It is also a chaos site ("waveform.step") for fault-injection tests.
+func StepResponseCtx(ctx context.Context, c *mna.Circuit, out string, window float64, n int) ([]float64, error) {
 	if n < 2 || n&(n-1) != 0 {
 		return nil, fmt.Errorf("waveform: n = %d must be a power of two ≥ 2", n)
 	}
@@ -42,6 +52,12 @@ func StepResponse(c *mna.Circuit, out string, window float64, n int) ([]float64,
 	// conjugate symmetry so the impulse response comes out real.
 	spec := make([]complex128, n)
 	for k := 0; k <= n/2; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("waveform: step response of %q: %w", c.Name(), err)
+		}
+		if err := chaos.Step(ctx, "waveform.step", c.Name()); err != nil {
+			return nil, fmt.Errorf("waveform: step response of %q: %w", c.Name(), err)
+		}
 		f := float64(k) / window
 		h, err := c.Gain(out, f)
 		if err != nil {

@@ -1,9 +1,12 @@
 package waveform
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
+	"repro/internal/guard/chaos"
 	"repro/internal/numeric"
 )
 
@@ -113,4 +116,22 @@ func TestFFTPanicsOnBadLength(t *testing.T) {
 		}
 	}()
 	numeric.FFT(make([]complex128, 12))
+}
+
+func TestStepResponseCtxCancel(t *testing.T) {
+	c := rcCircuit()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := StepResponseCtx(ctx, c, "out", 1e-3, 1024); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled step response = %v, want context.Canceled", err)
+	}
+}
+
+func TestStepResponseChaosSite(t *testing.T) {
+	c := rcCircuit()
+	ctx := chaos.Into(context.Background(),
+		chaos.New(9, 1, chaos.AtSites("waveform.step"), chaos.WithAction(chaos.Error)))
+	if _, err := StepResponseCtx(ctx, c, "out", 1e-3, 1024); err == nil {
+		t.Fatal("chaos at waveform.step with prob 1 did not fire")
+	}
 }
