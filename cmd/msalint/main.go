@@ -1,0 +1,92 @@
+// Command msalint runs the project's static analysis suite
+// (internal/lint) over the given packages: the machine-checked
+// invariants behind the hardened ATPG pipeline — context threading,
+// span lifecycle, mna builder-error consultation, the chaos site
+// registry, and the panics→errors policy. It is a blocking CI job next
+// to go vet.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/lint"
+)
+
+const (
+	exitClean    = 0
+	exitFindings = 1
+	exitError    = 2
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain is main with injectable streams and argv, so the acceptance
+// tests can drive the real command surface in-process. Exit codes:
+// 0 no findings, 1 findings reported, 2 usage or load error.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("msalint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text lines")
+	dir := fs.String("C", "", "change to `dir` before resolving package patterns")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, `usage: msalint [-json] [-C dir] [packages...]
+
+Runs the project invariant checks over the packages (default ./...):
+
+`)
+		for _, c := range lint.Checks() {
+			fmt.Fprintf(stderr, "  %-10s %s\n", c.Name(), c.Doc())
+		}
+		fmt.Fprintf(stderr, `
+A finding can be waived — with a mandatory reason, on the same line or
+the line above — by an inline directive:
+
+  //lint:allow <check> <reason>
+
+Exit codes: %d clean, %d findings, %d load or usage error.
+
+msalint and a gofmt cleanliness gate run as blocking CI jobs next to
+go vet; the committed fixtures under internal/lint/testdata/src must
+keep exiting %d (the suite's own acceptance check).
+`, exitClean, exitFindings, exitError, exitFindings)
+	}
+	if err := fs.Parse(args); err != nil {
+		return exitError
+	}
+
+	pkgs, err := lint.Load(*dir, fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return exitError
+	}
+	findings := lint.Run(pkgs, lint.Checks())
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, err)
+			return exitError
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stdout, "msalint: %d finding(s)\n", len(findings))
+		}
+		return exitFindings
+	}
+	return exitClean
+}

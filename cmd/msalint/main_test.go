@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestFixturesExitFindings pins the exit-1 half of the contract: the
+// committed fixture packages must keep producing findings.
+func TestFixturesExitFindings(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{
+		"../../internal/lint/testdata/src/ctxflow",
+		"../../internal/lint/testdata/src/spanend",
+		"../../internal/lint/testdata/src/mnaerr",
+		"../../internal/lint/testdata/src/chaossite",
+		"../../internal/lint/testdata/src/nopanic",
+	}, &stdout, &stderr)
+	if code != exitFindings {
+		t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", code, exitFindings, &stdout, &stderr)
+	}
+	for _, check := range []string{"ctxflow", "spanend", "mnaerr", "chaossite", "nopanic"} {
+		if !strings.Contains(stdout.String(), ": "+check+": ") {
+			t.Errorf("no %s finding in fixture output:\n%s", check, &stdout)
+		}
+	}
+}
+
+// TestCleanExitZero pins the exit-0 half on a violation-free package.
+func TestCleanExitZero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{"../../internal/lint/testdata/src/clean"}, &stdout, &stderr)
+	if code != exitClean {
+		t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", code, exitClean, &stdout, &stderr)
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run produced output:\n%s", &stdout)
+	}
+}
+
+// TestLoadErrorExitTwo pins exit 2 for unresolvable patterns.
+func TestLoadErrorExitTwo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{"./no/such/package"}, &stdout, &stderr)
+	if code != exitError {
+		t.Fatalf("exit = %d, want %d", code, exitError)
+	}
+	if stderr.Len() == 0 {
+		t.Error("load error produced no diagnostics on stderr")
+	}
+}
+
+// TestJSONOutput checks the -json shape: an array of findings with
+// check/file/line fields, and exit 1 is still signalled via the code,
+// not the stream.
+func TestJSONOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{"-json", "../../internal/lint/testdata/src/nopanic"}, &stdout, &stderr)
+	if code != exitFindings {
+		t.Fatalf("exit = %d, want %d\nstderr:\n%s", code, exitFindings, &stderr)
+	}
+	var findings []struct {
+		Check string `json:"check"`
+		File  string `json:"file"`
+		Line  int    `json:"line"`
+		Msg   string `json:"msg"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, &stdout)
+	}
+	if len(findings) != 1 || findings[0].Check != "nopanic" || findings[0].Line == 0 {
+		t.Errorf("unexpected findings: %+v", findings)
+	}
+}
+
+// TestUsageMentionsChecksAndExitCodes keeps the -h text discoverable:
+// every check name and the exit-code contract must be documented.
+func TestUsageMentionsChecksAndExitCodes(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{"-h"}, &stdout, &stderr)
+	if code != exitError {
+		t.Fatalf("-h exit = %d, want %d", code, exitError)
+	}
+	for _, want := range []string{"ctxflow", "spanend", "mnaerr", "chaossite", "nopanic", "lint:allow", "Exit codes"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Errorf("-h text does not mention %q", want)
+		}
+	}
+}

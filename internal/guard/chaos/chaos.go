@@ -23,6 +23,50 @@ import (
 	"repro/internal/guard"
 )
 
+// The registered injection sites. Instrumented code must name its
+// Step call with one of these constants — the chaossite lint check
+// (internal/lint, run by cmd/msalint) rejects raw strings that are not
+// in this registry, flags duplicate registrations, and flags registry
+// entries whose injection point has been removed, so the set below and
+// the instrumented pipeline cannot drift apart.
+const (
+	// SiteATPGFault wraps one combinational fault in atpg.(*Generator).Run.
+	SiteATPGFault = "atpg.fault"
+	// SiteATPGSeqFault wraps one core fault in atpg.RunSequentialCtx.
+	SiteATPGSeqFault = "atpg.seq.fault"
+	// SiteMNASolve wraps one context-bound MNA solve.
+	SiteMNASolve = "mna.solve"
+	// SiteWaveformStep wraps one transient step-response solve.
+	SiteWaveformStep = "waveform.step"
+	// SiteCoreElement wraps one analog element test in
+	// core.(*Mixed).TestAnalogElementCtx.
+	SiteCoreElement = "core.element"
+)
+
+// Sites returns every registered injection site name, in registry order.
+func Sites() []string {
+	return []string{
+		SiteATPGFault,
+		SiteATPGSeqFault,
+		SiteMNASolve,
+		SiteWaveformStep,
+		SiteCoreElement,
+	}
+}
+
+// KnownSite reports whether name is a registered injection site. Code
+// that accepts site names from outside the compiled binary (such as
+// msatpg's -chaos-sites flag) validates them here, since the lint
+// check can only see compile-time constants.
+func KnownSite(name string) bool {
+	for _, s := range Sites() {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
 // Action is the failure a firing injection point produces.
 type Action int
 

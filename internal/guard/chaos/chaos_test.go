@@ -105,3 +105,26 @@ func TestGuardIntegration(t *testing.T) {
 		}
 	}
 }
+
+func TestSiteRegistry(t *testing.T) {
+	sites := Sites()
+	if len(sites) == 0 {
+		t.Fatal("empty site registry")
+	}
+	seen := map[string]bool{}
+	for _, s := range sites {
+		if s == "" {
+			t.Fatal("registry contains an empty site name")
+		}
+		if seen[s] {
+			t.Fatalf("duplicate registered site %q", s)
+		}
+		seen[s] = true
+		if !KnownSite(s) {
+			t.Errorf("KnownSite(%q) = false for a registered site", s)
+		}
+	}
+	if KnownSite("no.such.site") {
+		t.Error(`KnownSite("no.such.site") = true`)
+	}
+}

@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// unparen strips any levels of parentheses around an expression.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes,
+// or nil for builtins, conversions, and calls of function-typed values
+// the checker cannot see through.
+func (p *Package) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := p.Info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.Fn(...).
+		if f, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func (p *Package) isBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = p.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// pkgPathHasSuffix reports whether the object's defining package path
+// ends with suffix — the module-prefix-agnostic way to name a package.
+func pkgPathHasSuffix(pkg *types.Package, suffix string) bool {
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// namedType unwraps pointers and returns the named type beneath, if any.
+func namedType(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+// isNamedIn reports whether t (possibly behind pointers) is the named
+// type name defined in a package whose path ends with pkgSuffix.
+func isNamedIn(t types.Type, pkgSuffix, name string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj() == nil {
+		return false
+	}
+	return n.Obj().Name() == name && pkgPathHasSuffix(n.Obj().Pkg(), pkgSuffix)
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n := namedType(t)
+	if n == nil || n.Obj() == nil {
+		return false
+	}
+	return n.Obj().Name() == "Context" && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "context"
+}
+
+// funcNode is a function declaration or literal with its body.
+type funcNode struct {
+	decl *ast.FuncDecl // nil for literals
+	lit  *ast.FuncLit  // nil for declarations
+	body *ast.BlockStmt
+}
+
+func (fn funcNode) ftype() *ast.FuncType {
+	if fn.decl != nil {
+		return fn.decl.Type
+	}
+	return fn.lit.Type
+}
+
+// forEachFunc visits every function declaration and function literal in
+// the file that has a body.
+func forEachFunc(file *ast.File, visit func(fn funcNode)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				visit(funcNode{decl: n, body: n.Body})
+			}
+		case *ast.FuncLit:
+			visit(funcNode{lit: n, body: n.Body})
+		}
+		return true
+	})
+}
+
+// inspectShallow walks body in source order without descending into
+// nested function literals. The literal node itself is still visited —
+// callers that want to recurse do so explicitly — but its children are
+// not.
+func inspectShallow(body ast.Node, visit func(n ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		descend := visit(n)
+		if _, isLit := n.(*ast.FuncLit); isLit && n != body {
+			return false
+		}
+		return descend
+	})
+}
+
+// enclosingDeclName returns the name of the innermost function
+// declaration containing pos within the file, or "".
+func enclosingDeclName(file *ast.File, pos ast.Node) string {
+	name := ""
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			if fd.Pos() <= pos.Pos() && pos.Pos() < fd.End() {
+				name = fd.Name.Name
+			}
+		}
+		return true
+	})
+	return name
+}

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+const chaosPkgSuffix = "internal/guard/chaos"
+
+// chaossite keeps the chaos injection surface a closed, named set: the
+// site argument of chaos.Step / Injector.Fire / Injector.Decide /
+// chaos.AtSites must be a compile-time string constant whose value is
+// registered in internal/guard/chaos (the exported Site… constants).
+// Linting the chaos package itself also verifies the registry has no
+// duplicate values, and — whole-program — that every registered site
+// still has at least one injection point, so the registry cannot drift
+// away from the instrumented code.
+type chaossite struct {
+	registry      map[string]token.Pos // site value → declaring constant
+	registrySeen  bool                 // chaos package was a lint target
+	registryFset  *token.FileSet
+	usedSites     map[string]bool
+	sawInjections bool
+}
+
+func newChaossite() Check {
+	return &chaossite{usedSites: map[string]bool{}}
+}
+
+func (*chaossite) Name() string { return "chaossite" }
+func (*chaossite) Doc() string {
+	return "chaos site names must be string constants registered in internal/guard/chaos"
+}
+
+// siteArgs returns the argument expressions of call that name chaos
+// sites, or nil when the call is not part of the chaos API.
+func (c *chaossite) siteArgs(p *Package, call *ast.CallExpr) []ast.Expr {
+	f := p.calleeFunc(call)
+	if f == nil || !pkgPathHasSuffix(f.Pkg(), chaosPkgSuffix) {
+		return nil
+	}
+	sig, _ := f.Type().(*types.Signature)
+	switch f.Name() {
+	case "Step": // Step(ctx, site, key)
+		if len(call.Args) >= 2 {
+			return call.Args[1:2]
+		}
+	case "Fire", "Decide": // (in *Injector) Fire(site, key)
+		if sig != nil && sig.Recv() != nil && len(call.Args) >= 1 {
+			return call.Args[0:1]
+		}
+	case "AtSites": // AtSites(sites ...string)
+		return call.Args
+	}
+	return nil
+}
+
+// registryOf collects the exported Site… string constants from the
+// chaos package's scope.
+func registryOf(chaosPkg *types.Package) map[string]types.Object {
+	out := map[string]types.Object{}
+	scope := chaosPkg.Scope()
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, "Site") {
+			continue
+		}
+		cst, ok := scope.Lookup(name).(*types.Const)
+		if !ok || cst.Val().Kind() != constant.String {
+			continue
+		}
+		out[constant.StringVal(cst.Val())] = cst
+	}
+	return out
+}
+
+func (c *chaossite) Run(p *Package) []Finding {
+	if pkgPathHasSuffix(p.Types, chaosPkgSuffix) {
+		return c.checkRegistry(p)
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			args := c.siteArgs(p, call)
+			if len(args) == 0 {
+				return true
+			}
+			registry := registryOf(p.calleeFunc(call).Pkg())
+			for _, arg := range args {
+				tv, ok := p.Info.Types[arg]
+				if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+					out = append(out, p.finding(c.Name(), arg.Pos(),
+						"chaos site must be a compile-time string constant from the internal/guard/chaos registry"))
+					continue
+				}
+				site := constant.StringVal(tv.Value)
+				c.sawInjections = true
+				c.usedSites[site] = true
+				if _, ok := registry[site]; !ok {
+					out = append(out, p.finding(c.Name(), arg.Pos(),
+						"chaos site %q is not registered in internal/guard/chaos; add a Site… constant or use an existing one", site))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkRegistry runs on the chaos package itself: Site… constants must
+// not register the same site name twice.
+func (c *chaossite) checkRegistry(p *Package) []Finding {
+	c.registrySeen = true
+	c.registryFset = p.Fset
+	c.registry = map[string]token.Pos{}
+	var out []Finding
+	scope := p.Types.Scope()
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, "Site") {
+			continue
+		}
+		cst, ok := scope.Lookup(name).(*types.Const)
+		if !ok || cst.Val().Kind() != constant.String {
+			continue
+		}
+		val := constant.StringVal(cst.Val())
+		if prev, dup := c.registry[val]; dup {
+			first, second := prev, cst.Pos()
+			if second < first {
+				first, second = second, first
+			}
+			out = append(out, p.finding(c.Name(), second,
+				"chaos site %q is registered twice (previous registration at %s)",
+				val, p.Fset.Position(first)))
+			continue
+		}
+		c.registry[val] = cst.Pos()
+	}
+	return out
+}
+
+// Finish reports registry drift: sites that are registered but no
+// longer injected anywhere. It only fires when the chaos package was
+// itself among the lint targets — i.e. on whole-repository runs, not
+// when linting a stray package or a fixture.
+func (c *chaossite) Finish() []Finding {
+	if !c.registrySeen || !c.sawInjections {
+		return nil
+	}
+	var out []Finding
+	for site, pos := range c.registry {
+		if c.usedSites[site] {
+			continue
+		}
+		position := c.registryFset.Position(pos)
+		out = append(out, Finding{
+			Check: c.Name(),
+			File:  position.Filename,
+			Line:  position.Line,
+			Col:   position.Column,
+			Msg:   "registered chaos site " + site + " has no injection point left; remove it or re-instrument",
+		})
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ctxflow flags calls that drop an in-scope context: when the enclosing
+// function has a context.Context (as a parameter or a local), calling
+// a function F for which a sibling FCtx exists severs cancellation,
+// deadlines, budgets and chaos injection from everything downstream.
+// The fix is almost always mechanical: call the Ctx variant.
+type ctxflow struct{}
+
+func newCtxflow() Check { return &ctxflow{} }
+
+func (*ctxflow) Name() string { return "ctxflow" }
+func (*ctxflow) Doc() string {
+	return "a function holding a context.Context must call FCtx, not F, when the Ctx sibling exists"
+}
+
+func (c *ctxflow) Run(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		// Visit declarations top-down so literals inherit the
+		// has-context property of the function that encloses them (a
+		// closure capturing ctx is still expected to thread it).
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkFunc(p, funcNode{decl: fd, body: fd.Body}, false, &out)
+		}
+	}
+	return out
+}
+
+// checkFunc analyzes one function's own statements, then recurses into
+// nested literals with the inherited context visibility.
+func (c *ctxflow) checkFunc(p *Package, fn funcNode, inheritedCtx bool, out *[]Finding) {
+	hasCtx := inheritedCtx || c.hasOwnContext(p, fn)
+	inspectShallow(fn.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !hasCtx {
+			return true
+		}
+		f := p.calleeFunc(call)
+		if f == nil || strings.HasSuffix(f.Name(), "Ctx") {
+			return true
+		}
+		if sib := ctxSibling(f); sib != nil {
+			*out = append(*out, p.finding(c.Name(), call.Pos(),
+				"call to %s drops the in-scope context: use %s", f.Name(), sib.Name()))
+		}
+		return true
+	})
+	inspectShallow(fn.body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && ast.Node(lit) != fn.body {
+			c.checkFunc(p, funcNode{lit: lit, body: lit.Body}, hasCtx, out)
+			return false
+		}
+		return true
+	})
+}
+
+// hasOwnContext reports whether the function receives a context.Context
+// parameter or defines a context-typed local in its own body.
+func (c *ctxflow) hasOwnContext(p *Package, fn funcNode) bool {
+	if ft := fn.ftype(); ft.Params != nil {
+		for _, field := range ft.Params.List {
+			if tv, ok := p.Info.Types[field.Type]; ok && isContextType(tv.Type) {
+				return true
+			}
+		}
+	}
+	found := false
+	inspectShallow(fn.body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj, ok := p.Info.Defs[id].(*types.Var); ok && isContextType(obj.Type()) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// ctxSibling returns the FCtx sibling of f — a function of the same
+// package (or a method of the same receiver type) named f.Name()+"Ctx"
+// — or nil when none exists.
+func ctxSibling(f *types.Func) *types.Func {
+	if f.Pkg() == nil {
+		return nil
+	}
+	want := f.Name() + "Ctx"
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	if sig.Recv() == nil {
+		if sib, ok := f.Pkg().Scope().Lookup(want).(*types.Func); ok {
+			return sib
+		}
+		return nil
+	}
+	obj, _, _ := types.LookupFieldOrMethod(sig.Recv().Type(), true, f.Pkg(), want)
+	if sib, ok := obj.(*types.Func); ok {
+		return sib
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// mnaerr enforces the builders-record-errors contract of internal/mna:
+// AddR/AddC/... record construction failures in Circuit.Err() instead
+// of panicking, so the first analysis run against a mis-built circuit
+// fails with a generic "construction error" far from the broken
+// builder call. A function that builds a circuit must therefore
+// consult Err() before it solves with the circuit or returns it.
+//
+// The analysis is per-function and positional: cross-function flows
+// (build in a constructor, solve in a method) are sealed by checking
+// Err() at the end of the building function.
+type mnaerr struct{}
+
+func newMnaerr() Check { return &mnaerr{} }
+
+func (*mnaerr) Name() string { return "mnaerr" }
+func (*mnaerr) Doc() string {
+	return "mna.Circuit.Err() must be consulted between builder calls and any solve or escape"
+}
+
+var mnaBuilderMethods = map[string]bool{
+	"AddR": true, "AddC": true, "AddL": true, "AddV": true, "AddI": true,
+	"AddVCVS": true, "AddOpAmp": true,
+}
+
+var mnaAnalysisMethods = map[string]bool{
+	"AC": true, "DC": true, "Gain": true, "GainMag": true,
+	"Sweep": true, "InputImpedance": true,
+}
+
+func (c *mnaerr) Run(p *Package) []Finding {
+	// The mna package manages buildErr directly.
+	if pkgPathHasSuffix(p.Types, "internal/mna") {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		// Only top-level declarations: checkFunc walks nested literals
+		// itself, sharing the builder state with the enclosing flow.
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.checkFunc(p, funcNode{decl: fd, body: fd.Body}, &out)
+			}
+		}
+	}
+	return out
+}
+
+type circuitState struct {
+	built   bool
+	checked bool
+	escaped bool
+}
+
+func (c *mnaerr) checkFunc(p *Package, fn funcNode, out *[]Finding) {
+	state := map[types.Object]*circuitState{}
+	get := func(obj types.Object) *circuitState {
+		s := state[obj]
+		if s == nil {
+			s = &circuitState{}
+			state[obj] = s
+		}
+		return s
+	}
+	// circuitIdent resolves an expression to a *mna.Circuit variable.
+	circuitIdent := func(e ast.Expr) types.Object {
+		id, ok := unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		obj := p.objectOf(id)
+		if obj == nil || !isNamedIn(obj.Type(), "internal/mna", "Circuit") {
+			return nil
+		}
+		return obj
+	}
+
+	// ast.Inspect visits in source order, which is what the positional
+	// built→checked bookkeeping relies on. Nested literals share the
+	// state: a closure building the captured circuit is the same flow.
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if obj := circuitIdent(sel.X); obj != nil {
+					s := get(obj)
+					switch name := sel.Sel.Name; {
+					case mnaBuilderMethods[name]:
+						s.built, s.checked = true, false
+					case name == "Err":
+						s.checked = true
+					case mnaAnalysisMethods[name]:
+						if s.built && !s.checked {
+							*out = append(*out, p.finding(c.Name(), n.Pos(),
+								"%s() on a circuit built in this function without consulting Err() first", name))
+							s.checked = true // one finding per unchecked build
+						}
+					}
+					// Arguments may still pass other circuits around.
+					for _, arg := range n.Args {
+						if aobj := circuitIdent(arg); aobj != nil {
+							get(aobj).escaped = true
+						}
+					}
+					return true
+				}
+			}
+			// Any call that receives the circuit as an argument may
+			// consult Err itself; stop tracking that variable.
+			for _, arg := range n.Args {
+				if obj := circuitIdent(arg); obj != nil {
+					get(obj).escaped = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				e := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if obj := circuitIdent(e); obj != nil {
+					get(obj).escaped = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if obj := circuitIdent(rhs); obj != nil {
+					get(obj).escaped = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				obj := circuitIdent(res)
+				if obj == nil {
+					continue
+				}
+				s := get(obj)
+				if s.built && !s.checked && !s.escaped {
+					*out = append(*out, p.finding(c.Name(), n.Pos(),
+						"circuit built in this function is returned without an Err() check; construction errors will surface at first solve instead"))
+					s.checked = true
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// nopanic enforces the PR 3 panics→errors policy: no naked panic(...)
+// in internal/ packages outside the internal/guard isolation layer.
+// Three shapes are allowed without a directive because they are part
+// of the policy rather than violations of it:
+//
+//   - panics inside must*/Must* helpers, whose documented contract is
+//     "panic on error" for known-good constructions;
+//   - re-panics of a recover()ed value (pass-through of someone else's
+//     panic, as in bdd's typed-panic trampoline);
+//   - typed control-flow panics panic(&SomeError{...}) that a recover
+//     in the same package converts back into an error.
+//
+// Everything else needs an explicit, reviewed
+// //lint:allow nopanic <reason> — deliberate programmer-error
+// assertions stay, but each one is a decision on the record.
+type nopanic struct{}
+
+func newNopanic() Check { return &nopanic{} }
+
+func (*nopanic) Name() string { return "nopanic" }
+func (*nopanic) Doc() string {
+	return "no naked panic() in internal/ outside the internal/guard isolation layer"
+}
+
+func (c *nopanic) Run(p *Package) []Finding {
+	path := p.Path
+	if !strings.Contains(path+"/", "/internal/") && !strings.HasPrefix(path, "internal/") {
+		return nil
+	}
+	if pkgPathHasSuffix(p.Types, "internal/guard") || strings.Contains(path, "internal/guard/") {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isMustName(fd.Name.Name) {
+				continue
+			}
+			recovered := c.recoverVars(p, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !p.isBuiltin(call, "panic") || len(call.Args) != 1 {
+					return true
+				}
+				if c.allowedPanicArg(p, call.Args[0], recovered) {
+					return true
+				}
+				out = append(out, p.finding(c.Name(), call.Pos(),
+					"naked panic outside internal/guard; return an error (or //lint:allow nopanic <reason> for a deliberate assertion)"))
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func isMustName(name string) bool {
+	return strings.HasPrefix(name, "must") || strings.HasPrefix(name, "Must")
+}
+
+// recoverVars collects the objects of variables assigned from recover()
+// anywhere in the function, so panic(r) pass-throughs are recognized.
+func (c *nopanic) recoverVars(p *Package, body *ast.BlockStmt) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+			return true
+		}
+		call, ok := unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !p.isBuiltin(call, "recover") {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			if obj := p.objectOf(id); obj != nil {
+				vars[obj] = true
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+// allowedPanicArg reports whether the panic argument is one of the
+// sanctioned shapes: a re-panic of a recovered value, or a typed
+// control-flow panic (&SomethingError{...}).
+func (c *nopanic) allowedPanicArg(p *Package, arg ast.Expr, recovered map[types.Object]bool) bool {
+	switch a := unparen(arg).(type) {
+	case *ast.Ident:
+		if obj := p.objectOf(a); obj != nil && recovered[obj] {
+			return true
+		}
+	case *ast.UnaryExpr:
+		lit, ok := a.X.(*ast.CompositeLit)
+		if !ok {
+			return false
+		}
+		name := ""
+		switch t := lit.Type.(type) {
+		case *ast.Ident:
+			name = t.Name
+		case *ast.SelectorExpr:
+			name = t.Sel.Name
+		}
+		return strings.HasSuffix(name, "Error")
+	}
+	return false
+}

@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// spanend flags obs.Collector.StartSpan results that are not ended on
+// every path out of the function. A leaked span never records its
+// duration, so the span histograms and the Chrome trace silently lose
+// the work item. The robust idiom is
+//
+//	defer c.StartSpan("name").End()
+//
+// and for phase-style spans that must close before the function ends,
+// an End() with no return statement in between.
+type spanend struct{}
+
+func newSpanend() Check { return &spanend{} }
+
+func (*spanend) Name() string { return "spanend" }
+func (*spanend) Doc() string {
+	return "every obs.Collector.StartSpan result must be End()-ed on all paths"
+}
+
+func (c *spanend) Run(p *Package) []Finding {
+	// The obs package itself manufactures and ends spans as data.
+	if pkgPathHasSuffix(p.Types, "internal/obs") {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		forEachFunc(file, func(fn funcNode) {
+			c.checkFunc(p, fn, &out)
+		})
+	}
+	return out
+}
+
+// isStartSpan reports whether the call is obs.Collector.StartSpan.
+func (c *spanend) isStartSpan(p *Package, call *ast.CallExpr) bool {
+	f := p.calleeFunc(call)
+	if f == nil || f.Name() != "StartSpan" {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isNamedIn(sig.Recv().Type(), "internal/obs", "Collector")
+}
+
+// endedCallOf returns the receiver expression X when call is X.End().
+func endedCallOf(call *ast.CallExpr) (ast.Expr, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" || len(call.Args) != 0 {
+		return nil, false
+	}
+	return unparen(sel.X), true
+}
+
+func (c *spanend) checkFunc(p *Package, fn funcNode, out *[]Finding) {
+	// First pass over the function's own statements: classify every
+	// StartSpan call site.
+	type tracked struct {
+		obj       types.Object
+		assignPos ast.Node
+	}
+	var spans []tracked
+	handled := map[*ast.CallExpr]bool{} // StartSpan calls already safe
+
+	inspectShallow(fn.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// defer <expr>.End() — anything ended by defer is safe,
+			// including the chained defer c.StartSpan(...).End().
+			if x, ok := endedCallOf(n.Call); ok {
+				if inner, ok := x.(*ast.CallExpr); ok && c.isStartSpan(p, inner) {
+					handled[inner] = true
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if call, ok := unparen(n.Rhs[0]).(*ast.CallExpr); ok && c.isStartSpan(p, call) {
+					switch id, ok := n.Lhs[0].(*ast.Ident); {
+					case ok && id.Name == "_":
+						// _ = StartSpan(...) discards the span; leave it
+						// for the discard pass below.
+					case ok:
+						if obj := p.objectOf(id); obj != nil {
+							handled[call] = true
+							spans = append(spans, tracked{obj: obj, assignPos: n})
+						}
+					default:
+						// Stored in a field or slot the positional
+						// analysis cannot track; assume the owner ends it.
+						handled[call] = true
+					}
+				}
+			}
+		case *ast.ExprStmt:
+			// <call>.End() immediately: pointless but not a leak.
+			if call, ok := unparen(n.X).(*ast.CallExpr); ok {
+				if x, ok := endedCallOf(call); ok {
+					if inner, ok := x.(*ast.CallExpr); ok && c.isStartSpan(p, inner) {
+						handled[inner] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Any StartSpan call not handled and not tracked through a variable
+	// discards the span outright.
+	inspectShallow(fn.body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && c.isStartSpan(p, call) && !handled[call] {
+			*out = append(*out, p.finding(c.Name(), call.Pos(),
+				"StartSpan result is discarded; use defer ….End() or assign it to a variable that is ended"))
+			handled[call] = true
+		}
+		return true
+	})
+
+	// Second pass per tracked span variable: find its End calls and the
+	// returns that can escape before the first one.
+	for _, sp := range spans {
+		deferred := false
+		var firstEnd ast.Node
+		ast.Inspect(fn.body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				if x, ok := endedCallOf(n.Call); ok {
+					if id, ok := x.(*ast.Ident); ok && p.objectOf(id) == sp.obj {
+						deferred = true
+					}
+				}
+			case *ast.CallExpr:
+				if x, ok := endedCallOf(n); ok {
+					if id, ok := x.(*ast.Ident); ok && p.objectOf(id) == sp.obj {
+						if firstEnd == nil || n.Pos() < firstEnd.Pos() {
+							firstEnd = n
+						}
+					}
+				}
+			}
+			return true
+		})
+		if deferred {
+			continue
+		}
+		if firstEnd == nil {
+			*out = append(*out, p.finding(c.Name(), sp.assignPos.Pos(),
+				"span is started but never End()-ed; use defer ….End()"))
+			continue
+		}
+		// Deferred End calls found inside nested literals count as plain
+		// calls above; now look for an early return of the enclosing
+		// function between the start and the first End.
+		inspectShallow(fn.body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			if ret.Pos() > sp.assignPos.Pos() && ret.End() < firstEnd.Pos() {
+				*out = append(*out, p.finding(c.Name(), ret.Pos(),
+					"return leaks the span started at line %d; End() it on this path or use defer ….End()",
+					p.Fset.Position(sp.assignPos.Pos()).Line))
+			}
+			return true
+		})
+	}
+}
+
+// objectOf resolves an identifier to its object via uses or defs.
+func (p *Package) objectOf(id *ast.Ident) types.Object {
+	if obj, ok := p.Info.Uses[id]; ok {
+		return obj
+	}
+	if obj, ok := p.Info.Defs[id]; ok {
+		return obj
+	}
+	return nil
+}

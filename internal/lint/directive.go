@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// allowPrefix introduces a suppression directive comment.
+const allowPrefix = "lint:allow"
+
+// Directive is one parsed //lint:allow comment.
+type Directive struct {
+	Check  string // the check being waived
+	Reason string // mandatory justification
+}
+
+// ParseAllowDirective parses one comment's text. The input is the raw
+// comment including its // or /* markers, as ast.Comment.Text stores it.
+//
+// Returns (directive, true, nil) for a well-formed directive,
+// (zero, false, nil) for a comment that is not a lint:allow directive
+// at all, and (zero, true, err) for a comment that clearly tries to be
+// one but is malformed — a missing check name or a missing reason.
+// The bool therefore answers "did this comment claim to be a
+// directive", so callers can turn malformed attempts into findings
+// instead of silently ignoring them.
+func ParseAllowDirective(text string) (Directive, bool, error) {
+	body, ok := directiveBody(text)
+	if !ok {
+		return Directive{}, false, nil
+	}
+	rest := strings.TrimPrefix(body, allowPrefix)
+	if rest != "" && !isSpace(rest[0]) {
+		// e.g. "lint:allowance" — some other comment, not ours.
+		return Directive{}, false, nil
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return Directive{}, true, fmt.Errorf("lint:allow needs a check name and a reason")
+	}
+	check := fields[0]
+	if !validCheckToken(check) {
+		return Directive{}, true, fmt.Errorf("lint:allow %q: check name must be a lowercase identifier", check)
+	}
+	reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), check))
+	if reason == "" {
+		return Directive{}, true, fmt.Errorf("lint:allow %s: a suppression must carry a reason", check)
+	}
+	return Directive{Check: check, Reason: reason}, true, nil
+}
+
+// directiveBody strips comment markers and reports whether the comment
+// starts with the lint:allow prefix. Directives must start immediately
+// after the marker (no leading space), matching the //go:build and
+// //nolint conventions.
+func directiveBody(text string) (string, bool) {
+	switch {
+	case strings.HasPrefix(text, "//"):
+		text = text[2:]
+	case strings.HasPrefix(text, "/*"):
+		text = strings.TrimSuffix(text[2:], "*/")
+	default:
+		return "", false
+	}
+	if !strings.HasPrefix(text, allowPrefix) {
+		return "", false
+	}
+	return text, true
+}
+
+func isSpace(b byte) bool { return b == ' ' || b == '\t' }
+
+// validCheckToken accepts lowercase ASCII identifiers, which is what
+// every registered check name is.
+func validCheckToken(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		if (b < 'a' || b > 'z') && (b < '0' || b > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// collectDirectives walks one file's comments, indexing well-formed
+// directives by line and converting malformed or unknown-check
+// directives into findings charged to the "directive" pseudo-check.
+func (p *Package) collectDirectives(f *ast.File) {
+	filename := ""
+	if f.Pos().IsValid() {
+		filename = p.Fset.Position(f.Pos()).Filename
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			d, claimed, err := ParseAllowDirective(c.Text)
+			if !claimed {
+				continue
+			}
+			line := p.Fset.Position(c.Pos()).Line
+			if err != nil {
+				p.directiveFindings = append(p.directiveFindings,
+					p.finding("directive", c.Pos(), "%v", err))
+				continue
+			}
+			if !isKnownCheck(d.Check) {
+				p.directiveFindings = append(p.directiveFindings,
+					p.finding("directive", c.Pos(), "lint:allow %s: unknown check (have %s)",
+						d.Check, strings.Join(CheckNames(), ", ")))
+				continue
+			}
+			if p.allow == nil {
+				p.allow = map[string]map[int][]Directive{}
+			}
+			if p.allow[filename] == nil {
+				p.allow[filename] = map[int][]Directive{}
+			}
+			p.allow[filename][line] = append(p.allow[filename][line], d)
+		}
+	}
+}
+
+// suppressed reports whether a finding of the named check at file:line
+// is waived by a directive on the same line or the line above.
+func (p *Package) suppressed(check, file string, line int) bool {
+	byLine := p.allow[file]
+	if byLine == nil {
+		return false
+	}
+	for _, l := range []int{line, line - 1} {
+		for _, d := range byLine[l] {
+			if d.Check == check {
+				return true
+			}
+		}
+	}
+	return false
+}

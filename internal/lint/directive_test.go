@@ -1,0 +1,58 @@
+package lint
+
+import "testing"
+
+func TestParseAllowDirective(t *testing.T) {
+	cases := []struct {
+		in      string
+		check   string
+		reason  string
+		claimed bool
+		wantErr bool
+	}{
+		{"//lint:allow nopanic documented assertion", "nopanic", "documented assertion", true, false},
+		{"//lint:allow spanend span outlives the helper by design", "spanend", "span outlives the helper by design", true, false},
+		{"/*lint:allow mnaerr sealed by caller*/", "mnaerr", "sealed by caller", true, false},
+		{"//lint:allow ctxflow  extra   spacing  ", "ctxflow", "extra   spacing", true, false},
+
+		// Not directives at all.
+		{"// plain comment", "", "", false, false},
+		{"// lint:allow nopanic leading space disqualifies", "", "", false, false},
+		{"//lint:allowance is a different word", "", "", false, false},
+		{"//nolint:gosec other tool", "", "", false, false},
+		{"//lint:forbid nopanic wrong verb", "", "", false, false},
+
+		// Claimed but malformed.
+		{"//lint:allow", "", "", true, true},
+		{"//lint:allow    ", "", "", true, true},
+		{"//lint:allow nopanic", "", "", true, true},
+		{"//lint:allow nopanic   ", "", "", true, true},
+		{"//lint:allow NoPanic mixed case name", "", "", true, true},
+		{"//lint:allow check-name has a dash", "", "", true, true},
+	}
+	for _, c := range cases {
+		d, claimed, err := ParseAllowDirective(c.in)
+		if claimed != c.claimed {
+			t.Errorf("%q: claimed = %v, want %v", c.in, claimed, c.claimed)
+			continue
+		}
+		if (err != nil) != c.wantErr {
+			t.Errorf("%q: err = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err != nil || !claimed {
+			continue
+		}
+		if d.Check != c.check || d.Reason != c.reason {
+			t.Errorf("%q: parsed (%q, %q), want (%q, %q)", c.in, d.Check, d.Reason, c.check, c.reason)
+		}
+	}
+}
+
+func TestCheckNamesAreParseable(t *testing.T) {
+	for _, name := range CheckNames() {
+		if !validCheckToken(name) {
+			t.Errorf("registered check name %q cannot appear in a directive", name)
+		}
+	}
+}

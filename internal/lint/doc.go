@@ -1,0 +1,49 @@
+// Package lint is the project-invariant static analysis suite: a small
+// loader built on go/parser and go/types, a Check interface, and the
+// five project-specific checks that machine-verify the cross-cutting
+// conventions PRs 1–3 introduced by hand:
+//
+//   - ctxflow: a function that already has a context.Context must not
+//     call a non-Ctx variant of a function when a *Ctx sibling exists
+//     (StepResponse vs StepResponseCtx, TestAnalogElement vs
+//     TestAnalogElementCtx, ...). Dropping the context silently severs
+//     cancellation, deadlines and chaos injection from everything
+//     downstream of the call.
+//   - spanend: every obs.Collector.StartSpan result must be ended on
+//     all paths — idiomatically `defer c.StartSpan(...).End()`. A span
+//     leaked on an early return corrupts the duration histograms and
+//     the Chrome trace.
+//   - mnaerr: mna builder calls record construction errors in
+//     Circuit.Err instead of panicking; a function that builds a
+//     circuit must consult Err() before solving with it or returning
+//     it, so construction errors surface at the build site rather than
+//     deep inside an analysis.
+//   - chaossite: chaos injection site names must be compile-time string
+//     constants drawn from the registry in internal/guard/chaos
+//     (the Site... constants); the registry itself must not contain
+//     duplicates, and no registered site may be left without an
+//     injection point.
+//   - nopanic: no naked panic(...) in internal/ outside the
+//     internal/guard isolation layer — the panics→errors policy.
+//     Allowed without a directive: must*/Must* helpers, re-panics of a
+//     recover()ed value, and typed control-flow panics
+//     (panic(&SomethingError{...})) that a recover in the same package
+//     converts back to an error.
+//
+// A finding at a particular line can be waived with an inline
+// directive on the same line or the line above:
+//
+//	//lint:allow <check> <reason>
+//
+// The reason is mandatory: a suppression is a reviewed decision, and
+// the decision's justification belongs next to it. Malformed
+// directives (unknown check, missing reason) are themselves findings.
+//
+// The loader shells out to `go list -export` for package metadata and
+// export data, then parses and type-checks the target packages with
+// the standard library alone — no external module dependencies, per
+// the repository's zero-dependency rule.
+//
+// cmd/msalint runs the suite from the command line and is a blocking
+// CI job next to go vet; see that command's -h for exit codes.
+package lint

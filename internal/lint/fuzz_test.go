@@ -1,0 +1,54 @@
+//go:build gofuzz
+
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAllowDirective feeds arbitrary comment text to the //lint:allow
+// parser, the one piece of the lint suite that consumes untrusted
+// input (anyone's source comments). It must never panic; whatever it
+// accepts must satisfy the invariants the suppression index relies on:
+// a valid lowercase check token, a nonempty trimmed reason, and a
+// claimed/parsed classification that is stable under re-parsing the
+// directive it would canonically render to.
+//
+// Run with: go test -tags gofuzz -fuzz FuzzAllowDirective ./internal/lint
+func FuzzAllowDirective(f *testing.F) {
+	f.Add("//lint:allow nopanic documented assertion")
+	f.Add("/*lint:allow mnaerr sealed by caller*/")
+	f.Add("//lint:allow")
+	f.Add("//lint:allow nopanic")
+	f.Add("//lint:allow NoPanic bad name")
+	f.Add("// lint:allow nopanic leading space")
+	f.Add("//lint:allowance different word")
+	f.Add("//")
+	f.Add("")
+	f.Add("//lint:allow \x00 nul")
+	f.Add("//lint:allow nopanic \t\t ")
+	f.Fuzz(func(t *testing.T, text string) {
+		d, claimed, err := ParseAllowDirective(text)
+		if err != nil && !claimed {
+			t.Fatalf("error %v on a comment that never claimed to be a directive", err)
+		}
+		if !claimed || err != nil {
+			return
+		}
+		if !validCheckToken(d.Check) {
+			t.Fatalf("accepted invalid check token %q", d.Check)
+		}
+		if strings.TrimSpace(d.Reason) != d.Reason || d.Reason == "" {
+			t.Fatalf("accepted untrimmed or empty reason %q", d.Reason)
+		}
+		// Canonical re-render must parse back to the same directive.
+		d2, claimed2, err2 := ParseAllowDirective("//lint:allow " + d.Check + " " + d.Reason)
+		if !claimed2 || err2 != nil {
+			t.Fatalf("canonical form of %+v rejected: claimed=%v err=%v", d, claimed2, err2)
+		}
+		if d2.Check != d.Check {
+			t.Fatalf("round trip changed check: %q vs %q", d.Check, d2.Check)
+		}
+	})
+}

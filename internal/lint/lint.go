@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one rule violation at one position.
+type Finding struct {
+	Check string `json:"check"`
+	File  string `json:"file"`
+	Line  int    `json:"line"`
+	Col   int    `json:"col"`
+	Msg   string `json:"msg"`
+}
+
+// String renders the finding the way compilers do: file:line:col.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Check, f.Msg)
+}
+
+// Check is one static analysis rule. Run is called once per loaded
+// package; a check that needs a whole-program view accumulates state
+// across Run calls and implements Finisher.
+type Check interface {
+	// Name is the identifier used in findings and //lint:allow directives.
+	Name() string
+	// Doc is a one-line description for -h output.
+	Doc() string
+	// Run reports the violations in one package.
+	Run(p *Package) []Finding
+}
+
+// Finisher is implemented by checks that report additional findings
+// after every package has been visited (whole-program invariants such
+// as chaossite's unused-registry-entry rule).
+type Finisher interface {
+	Finish() []Finding
+}
+
+// Checks returns a fresh instance of every registered check, in the
+// order they should run. Fresh instances matter: stateful checks must
+// not leak accumulated state between Run invocations.
+func Checks() []Check {
+	return []Check{
+		newCtxflow(),
+		newSpanend(),
+		newMnaerr(),
+		newChaossite(),
+		newNopanic(),
+	}
+}
+
+// CheckNames returns the names of all registered checks, sorted.
+func CheckNames() []string {
+	var names []string
+	for _, c := range Checks() {
+		names = append(names, c.Name())
+	}
+	sort.Strings(names)
+	return names
+}
+
+func isKnownCheck(name string) bool {
+	for _, n := range CheckNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies the checks to the packages, filters findings through the
+// //lint:allow directives collected at load time, appends directive
+// hygiene findings (malformed or unknown-check directives), and returns
+// everything sorted by position.
+func Run(pkgs []*Package, checks []Check) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		for _, c := range checks {
+			for _, f := range c.Run(p) {
+				if !p.suppressed(c.Name(), f.File, f.Line) {
+					out = append(out, f)
+				}
+			}
+		}
+		out = append(out, p.directiveFindings...)
+	}
+	for _, c := range checks {
+		if fin, ok := c.(Finisher); ok {
+			out = append(out, fin.Finish()...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		if out[i].Col != out[j].Col {
+			return out[i].Col < out[j].Col
+		}
+		return out[i].Check < out[j].Check
+	})
+	return out
+}
+
+// finding builds a Finding from a token.Pos using the package fset.
+func (p *Package) finding(check string, pos token.Pos, format string, args ...any) Finding {
+	position := p.Fset.Position(pos)
+	return Finding{
+		Check: check,
+		File:  position.Filename,
+		Line:  position.Line,
+		Col:   position.Column,
+		Msg:   fmt.Sprintf(format, args...),
+	}
+}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureNames are the committed fixture packages, one per check.
+var fixtureNames = []string{"chaossite", "ctxflow", "mnaerr", "nopanic", "spanend"}
+
+// TestFixturesGolden loads each fixture package, runs the full suite
+// over it, and compares the findings — rendered with basename-relative
+// positions — against the committed .golden file. Each fixture holds at
+// least one positive case and one suppressed case, so this test pins
+// both the detection and the //lint:allow filtering of every check.
+func TestFixturesGolden(t *testing.T) {
+	for _, name := range fixtureNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			dir := filepath.Join("testdata", "src", name)
+			pkgs, err := Load("", "./"+dir)
+			if err != nil {
+				t.Fatalf("Load(%s): %v", dir, err)
+			}
+			var got strings.Builder
+			for _, f := range Run(pkgs, Checks()) {
+				fmt.Fprintf(&got, "%s:%d:%d: %s: %s\n",
+					filepath.Base(f.File), f.Line, f.Col, f.Check, f.Msg)
+			}
+			goldenPath := filepath.Join(dir, name+".golden")
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("reading golden: %v", err)
+			}
+			if got.String() != string(want) {
+				t.Errorf("findings drifted from %s:\n--- got ---\n%s--- want ---\n%s",
+					goldenPath, got.String(), want)
+			}
+		})
+	}
+}
+
+// TestFixtureFindingsSuppressible proves every finding a fixture raises
+// names a check that a //lint:allow directive could waive — i.e. no
+// check reports under a name the directive grammar rejects.
+func TestFixtureFindingsSuppressible(t *testing.T) {
+	for _, name := range fixtureNames {
+		pkgs, err := Load("", "./"+filepath.Join("testdata", "src", name))
+		if err != nil {
+			t.Fatalf("Load(%s): %v", name, err)
+		}
+		for _, f := range Run(pkgs, Checks()) {
+			if _, _, err := ParseAllowDirective("//lint:allow " + f.Check + " reason"); err != nil {
+				t.Errorf("finding check name %q cannot be suppressed: %v", f.Check, err)
+			}
+		}
+	}
+}
+
+// TestCleanPackage runs the suite over a package with no violations and
+// expects silence — the exit-0 half of the msalint contract.
+func TestCleanPackage(t *testing.T) {
+	pkgs, err := Load("", "./testdata/src/clean")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if findings := Run(pkgs, Checks()); len(findings) != 0 {
+		t.Errorf("clean fixture raised findings: %v", findings)
+	}
+}
+
+// TestLoadErrors pins the load-failure path msalint maps to exit 2.
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load("", "./testdata/src/no-such-fixture"); err == nil {
+		t.Error("Load of a nonexistent directory succeeded")
+	}
+}
+
+// TestSelf keeps the suite self-clean: internal/lint and cmd/msalint
+// must never violate their own rules.
+func TestSelf(t *testing.T) {
+	pkgs, err := Load("", ".", "../../cmd/msalint")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, f := range Run(pkgs, Checks()) {
+		t.Errorf("self-lint: %s", f)
+	}
+}

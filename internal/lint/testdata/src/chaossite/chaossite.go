@@ -1,0 +1,30 @@
+// Package chaossite is a lint fixture: an unregistered site literal, a
+// dynamic site expression, and one suppressed dynamic site.
+package chaossite
+
+import (
+	"context"
+
+	"repro/internal/guard/chaos"
+)
+
+// Bad names a site that is not in the registry.
+func Bad(ctx context.Context) error {
+	return chaos.Step(ctx, "fixture.unregistered", "key")
+}
+
+// Dynamic passes a runtime value where a registry constant is required.
+func Dynamic(ctx context.Context, site string) error {
+	return chaos.Step(ctx, site, "key")
+}
+
+// Waived documents why the dynamic site is acceptable.
+func Waived(ctx context.Context, site string) error {
+	//lint:allow chaossite fixture: site validated against chaos.KnownSite upstream
+	return chaos.Step(ctx, site, "key")
+}
+
+// Good injects at a registered site via its constant.
+func Good(ctx context.Context) error {
+	return chaos.Step(ctx, chaos.SiteMNASolve, "key")
+}

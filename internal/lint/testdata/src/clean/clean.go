@@ -1,0 +1,32 @@
+// Package clean is a lint fixture with no violations: the exit-0 half
+// of the msalint contract, exercising every checked API the approved
+// way.
+package clean
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/guard/chaos"
+	"repro/internal/mna"
+	"repro/internal/obs"
+	"repro/internal/waveform"
+)
+
+// Settle builds, seals, and solves a circuit under the full discipline:
+// deferred span end, Err() consultation, registered chaos site, and a
+// threaded context.
+func Settle(ctx context.Context, col *obs.Collector) ([]float64, error) {
+	defer col.StartSpan("clean.settle").End()
+	if err := chaos.Step(ctx, chaos.SiteWaveformStep, "clean"); err != nil {
+		return nil, err
+	}
+	c := mna.New("clean")
+	c.AddV("V1", "in", "0", 1, 1)
+	c.AddR("R1", "in", "out", 1e3)
+	c.AddC("C1", "out", "0", 1e-6)
+	if err := c.Err(); err != nil {
+		return nil, fmt.Errorf("clean: %w", err)
+	}
+	return waveform.StepResponseCtx(ctx, c, "out", 1e-3, 64)
+}

@@ -1,0 +1,27 @@
+// Package ctxflow is a lint fixture: one dropped-context violation and
+// one suppressed call, per the ctxflow check's golden test.
+package ctxflow
+
+import (
+	"context"
+
+	"repro/internal/mna"
+	"repro/internal/waveform"
+)
+
+// Bad holds a context but calls the non-Ctx variant, severing
+// cancellation from the transient solver.
+func Bad(ctx context.Context, c *mna.Circuit) ([]float64, error) {
+	return waveform.StepResponse(c, "out", 1e-3, 64)
+}
+
+// Waived documents why dropping the context is acceptable here.
+func Waived(ctx context.Context, c *mna.Circuit) ([]float64, error) {
+	//lint:allow ctxflow fixture: settling measurement must run to completion
+	return waveform.StepResponse(c, "out", 1e-3, 64)
+}
+
+// Good threads the context through.
+func Good(ctx context.Context, c *mna.Circuit) ([]float64, error) {
+	return waveform.StepResponseCtx(ctx, c, "out", 1e-3, 64)
+}

@@ -1,0 +1,47 @@
+// Package mnaerr is a lint fixture: circuits solved or returned without
+// consulting Err() after builder calls, and one suppressed escape.
+package mnaerr
+
+import "repro/internal/mna"
+
+// Bad solves without consulting Err() after building.
+func Bad() (float64, error) {
+	c := mna.New("fixture")
+	c.AddV("V1", "in", "0", 1, 0)
+	c.AddR("R1", "in", "0", 1e3)
+	sol, err := c.DC()
+	if err != nil {
+		return 0, err
+	}
+	return real(sol.V("in")), nil
+}
+
+// Escapes returns a freshly built circuit unsealed.
+func Escapes() *mna.Circuit {
+	c := mna.New("fixture2")
+	c.AddR("R1", "in", "0", 1e3)
+	return c
+}
+
+// Waived documents why the unsealed return is fine.
+func Waived() *mna.Circuit {
+	c := mna.New("fixture3")
+	c.AddR("R1", "in", "0", 1e3)
+	//lint:allow mnaerr fixture: the only caller consults Err before solving
+	return c
+}
+
+// Good consults Err between building and solving.
+func Good() (float64, error) {
+	c := mna.New("fixture4")
+	c.AddV("V1", "in", "0", 1, 0)
+	c.AddR("R1", "in", "0", 1e3)
+	if err := c.Err(); err != nil {
+		return 0, err
+	}
+	sol, err := c.DC()
+	if err != nil {
+		return 0, err
+	}
+	return real(sol.V("in")), nil
+}

@@ -1,0 +1,54 @@
+// Package nopanic is a lint fixture: a naked panic, a suppressed
+// assertion, and the three sanctioned shapes (must-helper, typed
+// control-flow panic, recover re-panic).
+package nopanic
+
+import "fmt"
+
+// Bad asserts with a naked panic.
+func Bad(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("fixture: negative %d", n))
+	}
+}
+
+// Waived carries the reviewed justification.
+func Waived(n int) {
+	if n < 0 {
+		//lint:allow nopanic fixture: documented programmer-error assertion
+		panic(fmt.Sprintf("fixture: negative %d", n))
+	}
+}
+
+// MustPositive is a must-helper; its documented contract is to panic.
+func MustPositive(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("fixture: %d is not positive", n))
+	}
+	return n
+}
+
+// tripError is a typed control-flow panic payload.
+type tripError struct{ n int }
+
+func (e *tripError) Error() string { return fmt.Sprintf("trip %d", e.n) }
+
+// Trip uses the typed-panic convention the bdd package recovers from.
+func Trip(n int) {
+	panic(&tripError{n})
+}
+
+// Rethrow passes through a recovered panic untouched.
+func Rethrow(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(*tripError); ok {
+				err = e
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn()
+	return nil
+}

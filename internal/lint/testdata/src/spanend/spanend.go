@@ -1,0 +1,41 @@
+// Package spanend is a lint fixture: spans leaked on an early return,
+// discarded outright, and one suppressed leak.
+package spanend
+
+import (
+	"errors"
+
+	"repro/internal/obs"
+)
+
+var errFixture = errors.New("fixture")
+
+// Bad leaks the span when fail is set: the return escapes before End.
+func Bad(col *obs.Collector, fail bool) error {
+	span := col.StartSpan("fixture.bad")
+	if fail {
+		return errFixture
+	}
+	span.End()
+	return nil
+}
+
+// Discarded drops the span result on the floor.
+func Discarded(col *obs.Collector) {
+	col.StartSpan("fixture.discarded")
+}
+
+// Waived documents an intentional leak.
+func Waived(col *obs.Collector) {
+	//lint:allow spanend fixture: span deliberately left open across the snapshot
+	col.StartSpan("fixture.waived")
+}
+
+// Good uses the idiomatic deferred chain.
+func Good(col *obs.Collector, fail bool) error {
+	defer col.StartSpan("fixture.good").End()
+	if fail {
+		return errFixture
+	}
+	return nil
+}
