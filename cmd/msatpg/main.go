@@ -125,6 +125,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "  0  every fault classified (tested, dropped or provably untestable)\n")
 		fmt.Fprintf(stderr, "  1  degraded run: aborted or timed-out faults remain, or the flow failed\n")
 		fmt.Fprintf(stderr, "  2  usage or input error (bad flags, unknown circuit, unreadable checkpoint)\n\n")
+		fmt.Fprintf(stderr, "The codebase behind this command is gated in CI by the msalint static\n")
+		fmt.Fprintf(stderr, "analysis suite (`go run ./cmd/msalint ./...`); see msalint -h.\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -245,10 +247,16 @@ func chaosInjector(opt options) (*chaos.Injector, error) {
 	if opt.chaosSites != "" {
 		var sites []string
 		for _, s := range strings.Split(opt.chaosSites, ",") {
-			if s = strings.TrimSpace(s); s != "" {
-				sites = append(sites, s)
+			if s = strings.TrimSpace(s); s == "" {
+				continue
 			}
+			if !chaos.KnownSite(s) {
+				return nil, usageError{fmt.Errorf("unknown -chaos-sites entry %q (registered sites: %s)",
+					s, strings.Join(chaos.Sites(), ", "))}
+			}
+			sites = append(sites, s)
 		}
+		//lint:allow chaossite flag values are validated against chaos.KnownSite above
 		copts = append(copts, chaos.AtSites(sites...))
 	}
 	return chaos.New(opt.chaosSeed, opt.chaosProb, copts...), nil
@@ -326,118 +334,136 @@ func run(opt options, stdout io.Writer) (degraded bool, err error) {
 		if err != nil {
 			return false, err
 		}
-		prog, err := core.CompileProgram(mx, matrix, elements)
+		prog, err := core.CompileProgramCtx(runCtx, mx, matrix, elements)
 		if err != nil {
 			return false, err
 		}
 		return false, prog.Write(stdout)
 	}
 
+	// Each phase runs in its own closure so the phase span ends by
+	// defer on every path, error returns included — the spanend
+	// contract the lint suite enforces.
+
 	// 1. Analog element tests through the digital block. Each element
 	// runs under the guard harness: a panic or injected failure in one
 	// element degrades the run instead of killing it.
-	analogSpan := obs.Default.StartSpan("phase.analog")
-	fmt.Fprintln(stdout, "\n-- analog element tests (activation + D propagation) --")
-	matrix, err := analog.BuildMatrix(mx.Analog, elements, params, analog.DefaultEDOptions())
-	if err != nil {
+	var prop *core.Propagator
+	elemAborted, elemTimedOut := 0, 0
+	if err := func() error {
+		defer obs.Default.StartSpan("phase.analog").End()
+		fmt.Fprintln(stdout, "\n-- analog element tests (activation + D propagation) --")
+		matrix, err := analog.BuildMatrix(mx.Analog, elements, params, analog.DefaultEDOptions())
+		if err != nil {
+			return err
+		}
+		if prop, err = core.NewPropagator(mx); err != nil {
+			return err
+		}
+		testable := 0
+		for _, elem := range elements {
+			elem := elem
+			var verdict core.ElementTest
+			itemCtx, cancelItem := limits.WithItemContext(runCtx)
+			out := guard.Do(itemCtx, obs.Default, "element:"+elem, func(ctx context.Context) error {
+				v, terr := mx.TestAnalogElementCtx(ctx, prop, matrix, elem, core.UpperBound)
+				if terr != nil {
+					return terr
+				}
+				verdict = v
+				return nil
+			})
+			cancelItem()
+			switch out.Class {
+			case guard.TimedOut:
+				elemTimedOut++
+				fmt.Fprintf(stdout, "  %-4s TIMED OUT (%s)\n", elem, out.Reason)
+				continue
+			case guard.Aborted, guard.Canceled:
+				elemAborted++
+				fmt.Fprintf(stdout, "  %-4s ABORTED (%s)\n", elem, out.Reason)
+				continue
+			}
+			if verdict.Testable {
+				testable++
+				if opt.verbose {
+					fmt.Fprintf(stdout, "  %-4s ED=%-7s via %-5s %v → comparator %d → outputs %v, free inputs %v\n",
+						elem, fmtPct(verdict.ED), verdict.Param, verdict.Act.Stim,
+						verdict.Act.Target, verdict.Prop.Outputs, verdict.Prop.Vector)
+				}
+			} else if opt.verbose {
+				fmt.Fprintf(stdout, "  %-4s NOT TESTABLE (%s)\n", elem, verdict.Reason)
+			}
+		}
+		fmt.Fprintf(stdout, "  %d/%d elements testable through the mixed circuit", testable, len(elements))
+		if elemAborted+elemTimedOut > 0 {
+			fmt.Fprintf(stdout, " (%d aborted, %d timed-out)", elemAborted, elemTimedOut)
+		}
+		fmt.Fprintln(stdout)
+		return nil
+	}(); err != nil {
 		return false, err
 	}
-	prop, err := core.NewPropagator(mx)
-	if err != nil {
-		return false, err
-	}
-	testable, elemAborted, elemTimedOut := 0, 0, 0
-	for _, elem := range elements {
-		elem := elem
-		var verdict core.ElementTest
-		itemCtx, cancelItem := limits.WithItemContext(runCtx)
-		out := guard.Do(itemCtx, obs.Default, "element:"+elem, func(ctx context.Context) error {
-			v, terr := mx.TestAnalogElementCtx(ctx, prop, matrix, elem, core.UpperBound)
-			if terr != nil {
-				return terr
-			}
-			verdict = v
-			return nil
-		})
-		cancelItem()
-		switch out.Class {
-		case guard.TimedOut:
-			elemTimedOut++
-			fmt.Fprintf(stdout, "  %-4s TIMED OUT (%s)\n", elem, out.Reason)
-			continue
-		case guard.Aborted, guard.Canceled:
-			elemAborted++
-			fmt.Fprintf(stdout, "  %-4s ABORTED (%s)\n", elem, out.Reason)
-			continue
-		}
-		if verdict.Testable {
-			testable++
-			if opt.verbose {
-				fmt.Fprintf(stdout, "  %-4s ED=%-7s via %-5s %v → comparator %d → outputs %v, free inputs %v\n",
-					elem, fmtPct(verdict.ED), verdict.Param, verdict.Act.Stim,
-					verdict.Act.Target, verdict.Prop.Outputs, verdict.Prop.Vector)
-			}
-		} else if opt.verbose {
-			fmt.Fprintf(stdout, "  %-4s NOT TESTABLE (%s)\n", elem, verdict.Reason)
-		}
-	}
-	fmt.Fprintf(stdout, "  %d/%d elements testable through the mixed circuit", testable, len(elements))
-	if elemAborted+elemTimedOut > 0 {
-		fmt.Fprintf(stdout, " (%d aborted, %d timed-out)", elemAborted, elemTimedOut)
-	}
-	fmt.Fprintln(stdout)
-	analogSpan.End()
 
 	// 2. Conversion-block coverage.
-	convSpan := obs.Default.StartSpan("phase.conversion")
-	census, err := mx.CensusPropagation(prop)
-	if err != nil {
+	if err := func() error {
+		defer obs.Default.StartSpan("phase.conversion").End()
+		census, err := mx.CensusPropagation(prop)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\n-- conversion block: comparators blocked low=%v high=%v --\n",
+			census.BlockedLow, census.BlockedHigh)
+		eds := mx.ConversionCoverage(census, adc.DefaultEDOptions())
+		fmt.Fprint(stdout, "  ladder EDs: ")
+		for i, ed := range eds {
+			fmt.Fprintf(stdout, "R%d=%s ", i+1, fmtPct(ed))
+		}
+		fmt.Fprintln(stdout)
+		return nil
+	}(); err != nil {
 		return false, err
 	}
-	fmt.Fprintf(stdout, "\n-- conversion block: comparators blocked low=%v high=%v --\n",
-		census.BlockedLow, census.BlockedHigh)
-	eds := mx.ConversionCoverage(census, adc.DefaultEDOptions())
-	fmt.Fprint(stdout, "  ladder EDs: ")
-	for i, ed := range eds {
-		fmt.Fprintf(stdout, "R%d=%s ", i+1, fmtPct(ed))
-	}
-	fmt.Fprintln(stdout)
-	convSpan.End()
 
 	// 3. Constrained digital stuck-at ATPG.
-	digitalSpan := obs.Default.StartSpan("phase.digital")
-	fmt.Fprintln(stdout, "\n-- digital stuck-at ATPG under the conversion constraints --")
-	gen, err := atpg.New(mx.Digital)
-	if err != nil {
+	var res *atpg.Result
+	if err := func() error {
+		defer obs.Default.StartSpan("phase.digital").End()
+		fmt.Fprintln(stdout, "\n-- digital stuck-at ATPG under the conversion constraints --")
+		gen, err := atpg.New(mx.Digital)
+		if err != nil {
+			return err
+		}
+		fc := mx.Conv.ConstraintBDD(gen.Manager(), mx.Binding)
+		gen.SetConstraint(fc)
+		fs := faults.Collapse(mx.Digital)
+		runOpts := []atpg.RunOption{atpg.WithContext(runCtx), atpg.WithLimits(limits)}
+		if ckpt != nil {
+			runOpts = append(runOpts, atpg.WithCheckpoint(ckpt))
+		}
+		res = gen.Run(fs, runOpts...)
+		if res.Resumed > 0 {
+			fmt.Fprintf(stdout, "  resumed %d faults from checkpoint %s\n", res.Resumed, opt.checkpoint)
+		}
+		fmt.Fprintf(stdout, "  %d collapsed faults: %d detected, %d untestable, %d aborted, %d timed-out, %d vectors, %v, coverage %.1f%%\n",
+			res.Total, res.Detected, len(res.Untestable), len(res.Aborted), len(res.TimedOut),
+			len(res.Vectors), res.CPU.Round(1e6), 100*res.Coverage())
+		if res.Retries > 0 {
+			fmt.Fprintf(stdout, "  %d retries spent recovering aborted faults\n", res.Retries)
+		}
+		if opt.verbose {
+			for i, v := range res.Vectors {
+				if i >= 10 {
+					fmt.Fprintf(stdout, "  ... and %d more vectors\n", len(res.Vectors)-10)
+					break
+				}
+				fmt.Fprintf(stdout, "  vector %2d: %s\n", i+1, v)
+			}
+		}
+		return nil
+	}(); err != nil {
 		return false, err
 	}
-	fc := mx.Conv.ConstraintBDD(gen.Manager(), mx.Binding)
-	gen.SetConstraint(fc)
-	fs := faults.Collapse(mx.Digital)
-	runOpts := []atpg.RunOption{atpg.WithContext(runCtx), atpg.WithLimits(limits)}
-	if ckpt != nil {
-		runOpts = append(runOpts, atpg.WithCheckpoint(ckpt))
-	}
-	res := gen.Run(fs, runOpts...)
-	if res.Resumed > 0 {
-		fmt.Fprintf(stdout, "  resumed %d faults from checkpoint %s\n", res.Resumed, opt.checkpoint)
-	}
-	fmt.Fprintf(stdout, "  %d collapsed faults: %d detected, %d untestable, %d aborted, %d timed-out, %d vectors, %v, coverage %.1f%%\n",
-		res.Total, res.Detected, len(res.Untestable), len(res.Aborted), len(res.TimedOut),
-		len(res.Vectors), res.CPU.Round(1e6), 100*res.Coverage())
-	if res.Retries > 0 {
-		fmt.Fprintf(stdout, "  %d retries spent recovering aborted faults\n", res.Retries)
-	}
-	if opt.verbose {
-		for i, v := range res.Vectors {
-			if i >= 10 {
-				fmt.Fprintf(stdout, "  ... and %d more vectors\n", len(res.Vectors)-10)
-				break
-			}
-			fmt.Fprintf(stdout, "  vector %2d: %s\n", i+1, v)
-		}
-	}
-	digitalSpan.End()
 
 	degraded = len(res.Aborted)+len(res.TimedOut)+elemAborted+elemTimedOut > 0
 	return degraded, nil

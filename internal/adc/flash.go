@@ -26,9 +26,11 @@ type Flash struct {
 // nominal ladder resistors of 1 kΩ between vlo and vhi.
 func NewFlash(n int, vlo, vhi float64) *Flash {
 	if n < 1 {
+		//lint:allow nopanic constructor precondition; bad n is a caller bug
 		panic(fmt.Sprintf("adc: need at least one comparator, got %d", n))
 	}
 	if vhi <= vlo {
+		//lint:allow nopanic constructor precondition on the reference rails
 		panic(fmt.Sprintf("adc: reference rails inverted: [%g, %g]", vlo, vhi))
 	}
 	ladder := make([]float64, n+1)
@@ -53,6 +55,7 @@ func (f *Flash) RValue(i int) float64 { return f.ladder[i-1] }
 // SetR replaces ladder resistor i (1-based).
 func (f *Flash) SetR(i int, v float64) {
 	if v <= 0 {
+		//lint:allow nopanic non-positive resistance is a caller bug, not a runtime condition
 		panic(fmt.Sprintf("adc: resistor R%d must stay positive, got %g", i, v))
 	}
 	f.ladder[i-1] = v
@@ -70,6 +73,7 @@ func (f *Flash) PerturbR(i int, delta float64) (restore func()) {
 // the tap above the bottom k ladder resistors.
 func (f *Flash) Threshold(k int) float64 {
 	if k < 1 || k > f.NumComparators() {
+		//lint:allow nopanic comparator index out of range is a caller bug
 		panic(fmt.Sprintf("adc: comparator %d out of range 1..%d", k, f.NumComparators()))
 	}
 	var sk, st float64
@@ -141,6 +145,7 @@ func (f *Flash) ThermometerRows() [][]bool {
 // product terms.
 func (f *Flash) ConstraintBDD(m *bdd.Manager, names []string) bdd.Ref {
 	if len(names) != f.NumComparators() {
+		//lint:allow nopanic binding arity mismatch is a wiring bug in the caller
 		panic(fmt.Sprintf("adc: %d names for %d comparators", len(names), f.NumComparators()))
 	}
 	fc := bdd.True

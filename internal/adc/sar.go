@@ -14,9 +14,11 @@ type SAR struct {
 // NewSAR builds an n-bit converter over [vlo, vhi].
 func NewSAR(bits int, vlo, vhi float64) *SAR {
 	if bits < 1 || bits > 30 {
+		//lint:allow nopanic constructor precondition on the resolution
 		panic(fmt.Sprintf("adc: unsupported resolution %d bits", bits))
 	}
 	if vhi <= vlo {
+		//lint:allow nopanic constructor precondition on the reference rails
 		panic(fmt.Sprintf("adc: reference rails inverted: [%g, %g]", vlo, vhi))
 	}
 	return &SAR{bits: bits, vlo: vlo, vhi: vhi}

@@ -53,7 +53,7 @@ func TestRunChaosPanicsAreIsolated(t *testing.T) {
 	}
 	fs := faults.All(c)
 	ctx := chaos.Into(context.Background(),
-		chaos.New(11, 0.3, chaos.AtSites("atpg.fault"), chaos.WithAction(chaos.Panic)))
+		chaos.New(11, 0.3, chaos.AtSites(chaos.SiteATPGFault), chaos.WithAction(chaos.Panic)))
 	res := g.Run(fs, WithContext(ctx))
 	if len(res.Aborted) == 0 {
 		t.Fatal("30% chaos panics produced no aborted faults")
@@ -79,7 +79,7 @@ func TestRunRetryRecoversChaosErrors(t *testing.T) {
 	// accounting: with retries enabled every chaos abort burns MaxRetries
 	// extra attempts (the same key re-fires deterministically).
 	ctx := chaos.Into(context.Background(),
-		chaos.New(11, 0.3, chaos.AtSites("atpg.fault"), chaos.WithAction(chaos.Error)))
+		chaos.New(11, 0.3, chaos.AtSites(chaos.SiteATPGFault), chaos.WithAction(chaos.Error)))
 	res := g.Run(fs, WithContext(ctx), WithLimits(guard.Limits{MaxRetries: 2}))
 	if len(res.Aborted) == 0 {
 		t.Fatal("chaos errors produced no aborted faults")
@@ -176,7 +176,7 @@ func TestRunCheckpointSkipsAbortedFaults(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx := chaos.Into(context.Background(),
-		chaos.New(17, 0.3, chaos.AtSites("atpg.fault"), chaos.WithAction(chaos.Panic)))
+		chaos.New(17, 0.3, chaos.AtSites(chaos.SiteATPGFault), chaos.WithAction(chaos.Panic)))
 	broken := g1.Run(fs, WithContext(ctx), WithCheckpoint(cp1))
 	if len(broken.Aborted) == 0 {
 		t.Skip("seed 17 injected nothing on this fault list")
@@ -248,7 +248,7 @@ func TestSequentialChaosAborts(t *testing.T) {
 	seq := fig3Seq(t)
 	fs := faults.All(seq.Core)
 	ctx := chaos.Into(context.Background(),
-		chaos.New(23, 0.5, chaos.AtSites("atpg.seq.fault"), chaos.WithAction(chaos.Panic)))
+		chaos.New(23, 0.5, chaos.AtSites(chaos.SiteATPGSeqFault), chaos.WithAction(chaos.Panic)))
 	res, err := RunSequentialCtx(ctx, seq, fs, 2,
 		map[string]bool{"q1": false, "q2": false}, guard.Limits{})
 	if err != nil {

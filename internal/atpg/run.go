@@ -275,7 +275,7 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 		// "atpg.fault" chaos site for fault-injection tests.
 		itemCtx, cancelItem := cfg.limits.WithItemContext(runCtx)
 		out := guard.Run(itemCtx, g.col, name, policy, func(ctx context.Context, attempt int) error {
-			if err := chaos.Step(ctx, "atpg.fault", name); err != nil {
+			if err := chaos.Step(ctx, chaos.SiteATPGFault, name); err != nil {
 				return err
 			}
 			g.m.BindContext(ctx)
@@ -346,6 +346,7 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 		if state[i] == 0 {
 			// The generated vector must detect its target; treat a miss
 			// as an internal inconsistency loudly rather than silently.
+			//lint:allow nopanic documented self-check: a vector that misses its target is an internal inconsistency
 			panic("atpg: generated vector does not detect its target fault")
 		}
 	}

@@ -207,7 +207,7 @@ func RunSequentialCtx(ctx context.Context, seq *logic.SeqCircuit, fs []faults.Fa
 		var ok bool
 		itemCtx, cancelItem := limits.WithItemContext(runCtx)
 		out := guard.Do(itemCtx, col, name, func(c context.Context) error {
-			if err := chaos.Step(c, "atpg.seq.fault", name); err != nil {
+			if err := chaos.Step(c, chaos.SiteATPGSeqFault, name); err != nil {
 				return err
 			}
 			g.m.BindContext(c)

@@ -11,6 +11,7 @@ import "fmt"
 // EqualVec returns the BDD of "A == B" for two equally long bit vectors.
 func (m *Manager) EqualVec(a, b []Ref) Ref {
 	if len(a) != len(b) {
+		//lint:allow nopanic vector width mismatch is a caller bug
 		panic(fmt.Sprintf("bdd: EqualVec over %d and %d bits", len(a), len(b)))
 	}
 	eq := True
@@ -25,6 +26,7 @@ func (m *Manager) EqualVec(a, b []Ref) Ref {
 // borrow (1 ⟺ B > A, i.e. the sign of the true difference).
 func (m *Manager) Sub(a, b []Ref) (diff []Ref, borrow Ref) {
 	if len(a) != len(b) {
+		//lint:allow nopanic vector width mismatch is a caller bug
 		panic(fmt.Sprintf("bdd: Sub over %d and %d bits", len(a), len(b)))
 	}
 	borrow = False

@@ -12,11 +12,23 @@
 package circuits
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/analog"
 	"repro/internal/mna"
 )
+
+// mustSeal asserts that a finished netlist recorded no construction
+// error before it is handed to callers. The builders in this package use
+// fixed node names and component values, so a recorded error is a
+// programming mistake in the builder itself, not a runtime condition.
+func mustSeal(c *mna.Circuit) *mna.Circuit {
+	if err := c.Err(); err != nil {
+		panic(fmt.Sprintf("circuits: bad netlist %q: %v", c.Name(), err))
+	}
+	return c
+}
 
 // BandPassElements lists the fault universe of the Figure 2 filter in the
 // paper's order.
@@ -54,7 +66,7 @@ func BandPass2() *mna.Circuit {
 	c.AddR("R3", "v2", "s3", 10e3)
 	c.AddR("R4", "s3", "v3", 10e3)
 	c.AddOpAmp("A3", "0", "s3", "v3")
-	return c
+	return mustSeal(c)
 }
 
 // BandPassOutput is the measured output node of the Figure 2 filter.

@@ -90,7 +90,7 @@ func Chebyshev5() *mna.Circuit {
 	c.AddR("R11", "o3", "s4", 10e3)
 	c.AddR("R12", "s4", "vo", 10e3)
 	c.AddOpAmp("A4", "0", "s4", "vo")
-	return c
+	return mustSeal(c)
 }
 
 // ChebyshevParams returns the Table 3 parameter set: the DC gain Adc, the

@@ -75,7 +75,7 @@ func StateVariable(clamped bool) *mna.Circuit {
 	// Output RC on the HP node: fh1 = 1/(2π·R·Cload).
 	c.AddR("R", "v1", "v1f", 10e3)
 	c.AddC("Cload", "v1f", "0", 159.15e-12) // fixed 100 kHz pole probe
-	return c
+	return mustSeal(c)
 }
 
 // UnclampedDCGain measures the DC gain of the A4 output with the clamp

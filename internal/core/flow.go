@@ -52,7 +52,7 @@ func (mx *Mixed) TestAnalogElementCtx(ctx context.Context, p *Propagator, matrix
 	defer obs.Default.StartSpan("core.element_test").End()
 	start := time.Now()
 	res := ElementTest{Element: elem, Bound: bound}
-	if err := chaos.Step(ctx, "core.element", elem); err != nil {
+	if err := chaos.Step(ctx, chaos.SiteCoreElement, elem); err != nil {
 		return res, fmt.Errorf("core: testing %s: %w", elem, err)
 	}
 	mx.Analog.BindContext(ctx)

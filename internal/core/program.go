@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -75,6 +76,15 @@ type ConversionTest struct {
 // digital ATPG (with static compaction of the vector set). The matrix
 // must come from analog.BuildMatrix over the analog block's elements.
 func CompileProgram(mx *Mixed, matrix *analog.Matrix, elements []string, opts ...atpg.Option) (*TestProgram, error) {
+	return CompileProgramCtx(context.Background(), mx, matrix, elements, opts...)
+}
+
+// CompileProgramCtx is CompileProgram with cancellation: the context is
+// threaded through every analog element test and the constrained
+// digital ATPG run, so a deadline or cancel aborts the compilation at
+// the next element or fault boundary instead of grinding through the
+// whole flow.
+func CompileProgramCtx(ctx context.Context, mx *Mixed, matrix *analog.Matrix, elements []string, opts ...atpg.Option) (*TestProgram, error) {
 	start := time.Now()
 	prog := &TestProgram{CircuitName: fmt.Sprintf("%s→flash(%d)→%s",
 		mx.Analog.Name(), mx.Conv.NumComparators(), mx.Digital.Name)}
@@ -87,7 +97,7 @@ func CompileProgram(mx *Mixed, matrix *analog.Matrix, elements []string, opts ..
 	// 1. Analog element tests, both bounds.
 	for _, elem := range elements {
 		for _, bound := range []Bound{UpperBound, LowerBound} {
-			verdict, err := mx.TestAnalogElement(prop, matrix, elem, bound)
+			verdict, err := mx.TestAnalogElementCtx(ctx, prop, matrix, elem, bound)
 			if err != nil {
 				return nil, fmt.Errorf("core: element %s: %w", elem, err)
 			}
@@ -135,7 +145,7 @@ func CompileProgram(mx *Mixed, matrix *analog.Matrix, elements []string, opts ..
 	fc := mx.Conv.ConstraintBDD(gen.Manager(), mx.Binding)
 	gen.SetConstraint(fc)
 	fs := faults.Collapse(mx.Digital)
-	res := gen.Run(fs)
+	res := gen.Run(fs, atpg.WithContext(ctx))
 	prog.DigitalVectors = gen.Compact(res.Vectors, fs)
 	prog.DigitalFaults = res.Total
 	prog.DigitalCoverage = res.Coverage()

@@ -32,9 +32,11 @@ const baseR = 10e3
 // NewR2R builds an n-bit ladder with nominal elements.
 func NewR2R(bits int, vref float64) *R2R {
 	if bits < 1 || bits > 16 {
+		//lint:allow nopanic constructor precondition on the resolution
 		panic(fmt.Sprintf("dac: unsupported resolution %d bits", bits))
 	}
 	if vref <= 0 {
+		//lint:allow nopanic constructor precondition on the reference voltage
 		panic(fmt.Sprintf("dac: non-positive reference %g", vref))
 	}
 	c := mna.New(fmt.Sprintf("r2r%d", bits))

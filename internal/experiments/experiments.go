@@ -35,6 +35,7 @@ type entry struct {
 
 func register(id, title string, run Runner) {
 	if _, dup := registry[id]; dup {
+		//lint:allow nopanic duplicate registration is an init-time code bug
 		panic(fmt.Sprintf("experiments: duplicate id %q", id))
 	}
 	registry[id] = entry{title: title, run: run}

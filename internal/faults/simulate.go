@@ -60,6 +60,7 @@ type Simulator struct {
 // NewSimulator creates a fault simulator for the (frozen) circuit.
 func NewSimulator(c *logic.Circuit) *Simulator {
 	if !c.Frozen() {
+		//lint:allow nopanic API misuse: the circuit must be frozen before simulation
 		panic(fmt.Sprintf("faults: circuit %q must be frozen", c.Name))
 	}
 	return &Simulator{c: c}

@@ -298,14 +298,14 @@ func TestGeneratedBenchmarkBenchRoundTripProven(t *testing.T) {
 
 func TestGenerateRejectsInvalidProfiles(t *testing.T) {
 	bad := []Profile{
-		{},                            // no name
-		{Name: "x", PO: 1, Gates: 1},  // PI 0
-		{Name: "x", PI: 4, Gates: 1},  // PO 0
-		{Name: "x", PI: 4, PO: 1},     // gates 0
-		{Name: "x", PI: 4, PO: 1, Gates: 9, XorFrac: 1.5},   // XorFrac > 1
-		{Name: "x", PI: 4, PO: 1, Gates: 9, AdderPOs: 2},    // AdderPOs > PO
-		{Name: "x", PI: 4, PO: 1, Gates: 9, Redundant: -1},  // negative
-		{Name: "x", PI: 4, PO: 1, Gates: 9, GatedPairs: 2},  // no free inputs
+		{},                           // no name
+		{Name: "x", PO: 1, Gates: 1}, // PI 0
+		{Name: "x", PI: 4, Gates: 1}, // PO 0
+		{Name: "x", PI: 4, PO: 1},    // gates 0
+		{Name: "x", PI: 4, PO: 1, Gates: 9, XorFrac: 1.5},  // XorFrac > 1
+		{Name: "x", PI: 4, PO: 1, Gates: 9, AdderPOs: 2},   // AdderPOs > PO
+		{Name: "x", PI: 4, PO: 1, Gates: 9, Redundant: -1}, // negative
+		{Name: "x", PI: 4, PO: 1, Gates: 9, GatedPairs: 2}, // no free inputs
 		// Fuzzer-found: the adder lane reads 2(AdderPOs−1)+1 distinct
 		// inputs; with PI=1 the builder indexed past the input band.
 		{Name: "x", PI: 1, PO: 123, Gates: 22, AdderPOs: 75},

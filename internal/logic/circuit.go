@@ -79,6 +79,7 @@ func (c *Circuit) AddGate(name string, t GateType, fanins ...string) SigID {
 	for i, f := range fanins {
 		id, ok := c.byName[f]
 		if !ok {
+			//lint:allow nopanic builder API misuse: unknown fanin name
 			panic(fmt.Sprintf("logic: gate %q references unknown signal %q", name, f))
 		}
 		ids[i] = id
@@ -88,12 +89,15 @@ func (c *Circuit) AddGate(name string, t GateType, fanins ...string) SigID {
 
 func (c *Circuit) addSignal(name string, t GateType, fanin []SigID) SigID {
 	if c.frozen {
+		//lint:allow nopanic builder API misuse: mutating a frozen circuit
 		panic(fmt.Sprintf("logic: circuit %q is frozen", c.Name))
 	}
 	if _, dup := c.byName[name]; dup {
+		//lint:allow nopanic builder API misuse: duplicate signal name
 		panic(fmt.Sprintf("logic: duplicate signal %q in circuit %q", name, c.Name))
 	}
 	if !t.arityOK(len(fanin)) {
+		//lint:allow nopanic builder API misuse: wrong gate arity
 		panic(fmt.Sprintf("logic: gate %q: %v cannot take %d fanins", name, t, len(fanin)))
 	}
 	id := SigID(len(c.signals))
@@ -111,10 +115,12 @@ func (c *Circuit) addSignal(name string, t GateType, fanin []SigID) SigID {
 // MarkOutput declares an existing signal to be a primary output.
 func (c *Circuit) MarkOutput(name string) {
 	if c.frozen {
+		//lint:allow nopanic builder API misuse: mutating a frozen circuit
 		panic(fmt.Sprintf("logic: circuit %q is frozen", c.Name))
 	}
 	id, ok := c.byName[name]
 	if !ok {
+		//lint:allow nopanic builder API misuse: unknown signal name
 		panic(fmt.Sprintf("logic: cannot mark unknown signal %q as output", name))
 	}
 	for _, o := range c.outputs {

@@ -345,21 +345,21 @@ x = AND(a, a)
 
 func TestParseBenchErrors(t *testing.T) {
 	cases := []string{
-		"INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n",    // unknown gate
-		"INPUT(a)\nOUTPUT(y)\ny = AND(a, b)\n",  // undefined fanin
-		"INPUT(a)\nOUTPUT(z)\ny = NOT(a)\n",     // undefined output
-		"INPUT(a)\nOUTPUT(y)\nwhat is this\n",   // junk line
-		"INPUT(a)\nOUTPUT(y)\ny = NOT(a\n",      // unbalanced paren
-		"INPUT(a)\nOUTPUT(y)\ny = NOT(a, , )\n", // empty fanin
-		"INPUT()\nOUTPUT(y)\ny = NOT(a)\n",      // empty input name
-		"INPUT(a)\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)\n",             // duplicate input
-		"INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = NOT(a)\n",           // duplicate gate
-		"INPUT(a)\nOUTPUT(a)\na = NOT(a)\n",                       // gate redefines input
-		"OUTPUT(a)\na = NOT(b)\nINPUT(a)\nINPUT(b)\n",             // late input collision
-		"INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOT(a, b)\n",          // NOT arity
-		"INPUT(a)\nOUTPUT(y)\ny = XOR(a)\n",                       // XOR arity
-		"INPUT(a)\nOUTPUT(y)\nx = NOT(y)\ny = NOT(x)\n",           // cycle
-		"INPUT(a)\nINPUT(b)\nOUTPUT(y)\n = AND(a, b)\n",           // empty gate name
+		"INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n",             // unknown gate
+		"INPUT(a)\nOUTPUT(y)\ny = AND(a, b)\n",           // undefined fanin
+		"INPUT(a)\nOUTPUT(z)\ny = NOT(a)\n",              // undefined output
+		"INPUT(a)\nOUTPUT(y)\nwhat is this\n",            // junk line
+		"INPUT(a)\nOUTPUT(y)\ny = NOT(a\n",               // unbalanced paren
+		"INPUT(a)\nOUTPUT(y)\ny = NOT(a, , )\n",          // empty fanin
+		"INPUT()\nOUTPUT(y)\ny = NOT(a)\n",               // empty input name
+		"INPUT(a)\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)\n",    // duplicate input
+		"INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = NOT(a)\n",  // duplicate gate
+		"INPUT(a)\nOUTPUT(a)\na = NOT(a)\n",              // gate redefines input
+		"OUTPUT(a)\na = NOT(b)\nINPUT(a)\nINPUT(b)\n",    // late input collision
+		"INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOT(a, b)\n", // NOT arity
+		"INPUT(a)\nOUTPUT(y)\ny = XOR(a)\n",              // XOR arity
+		"INPUT(a)\nOUTPUT(y)\nx = NOT(y)\ny = NOT(x)\n",  // cycle
+		"INPUT(a)\nINPUT(b)\nOUTPUT(y)\n = AND(a, b)\n",  // empty gate name
 	}
 	for i, src := range cases {
 		if _, err := ParseBench("bad", strings.NewReader(src)); err == nil {

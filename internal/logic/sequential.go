@@ -171,6 +171,7 @@ func (s *SeqCircuit) Simulate(vectors []map[string]bool, initial map[string]bool
 func (c *Circuit) SimWordsFaultyMulti(inWords []uint64, ovs []Override) []uint64 {
 	c.mustBeFrozen()
 	if len(inWords) != len(c.inputs) {
+		//lint:allow nopanic input word count mismatch is a caller bug
 		panic(fmt.Sprintf("logic: SimWordsFaultyMulti: %d input words for %d inputs", len(inWords), len(c.inputs)))
 	}
 	stem := map[SigID]uint64{}      // stem forces

@@ -38,6 +38,7 @@ func (c *Circuit) SimWords(inWords []uint64) []uint64 {
 func (c *Circuit) SimWordsFaulty(inWords []uint64, ov Override) []uint64 {
 	c.mustBeFrozen()
 	if len(inWords) != len(c.inputs) {
+		//lint:allow nopanic input word count mismatch is a caller bug
 		panic(fmt.Sprintf("logic: SimWords: %d input words for %d inputs", len(inWords), len(c.inputs)))
 	}
 	val := make([]uint64, len(c.signals))

@@ -31,6 +31,7 @@ func (s *Solution) V(node string) complex128 {
 	}
 	idx, ok := s.circuit.nodes[node]
 	if !ok {
+		//lint:allow nopanic probing an unknown node is a caller bug in experiment code
 		panic(fmt.Sprintf("mna: no node %q in circuit %q", node, s.circuit.name))
 	}
 	return s.v[idx]
@@ -53,6 +54,7 @@ func (s *Solution) PhaseDeg(node string) float64 {
 func (s *Solution) BranchCurrent(name string) complex128 {
 	i, ok := s.branch[name]
 	if !ok {
+		//lint:allow nopanic documented contract: panics for elements without a branch unknown
 		panic(fmt.Sprintf("mna: element %q has no branch current in circuit %q", name, s.circuit.name))
 	}
 	return i
@@ -176,7 +178,7 @@ func (c *Circuit) solve(omega, freq float64) (*Solution, error) {
 		if err := c.ctx.Err(); err != nil {
 			return nil, fmt.Errorf("mna: circuit %q: %w", c.name, err)
 		}
-		if err := chaos.Step(c.ctx, "mna.solve", c.name); err != nil {
+		if err := chaos.Step(c.ctx, chaos.SiteMNASolve, c.name); err != nil {
 			return nil, fmt.Errorf("mna: circuit %q: %w", c.name, err)
 		}
 	}

@@ -162,6 +162,7 @@ func (c *Circuit) AddOpAmp(name, inP, inN, out string) {
 func (c *Circuit) Value(name string) float64 {
 	e, ok := c.byName[name]
 	if !ok {
+		//lint:allow nopanic documented accessor contract: unknown element is a programming error
 		panic(fmt.Sprintf("mna: no element %q in circuit %q", name, c.name))
 	}
 	return e.value
@@ -171,6 +172,7 @@ func (c *Circuit) Value(name string) float64 {
 func (c *Circuit) SetValue(name string, v float64) {
 	e, ok := c.byName[name]
 	if !ok {
+		//lint:allow nopanic documented accessor contract: unknown element is a programming error
 		panic(fmt.Sprintf("mna: no element %q in circuit %q", name, c.name))
 	}
 	e.value = v
@@ -182,9 +184,11 @@ func (c *Circuit) SetValue(name string, v float64) {
 func (c *Circuit) SetSourceDC(name string, v float64) {
 	e, ok := c.byName[name]
 	if !ok {
+		//lint:allow nopanic documented accessor contract: unknown element is a programming error
 		panic(fmt.Sprintf("mna: no element %q in circuit %q", name, c.name))
 	}
 	if e.kind != KindVSource && e.kind != KindISource {
+		//lint:allow nopanic API misuse: only independent sources carry a DC level
 		panic(fmt.Sprintf("mna: element %q is not an independent source", name))
 	}
 	e.dc = v
@@ -194,6 +198,7 @@ func (c *Circuit) SetSourceDC(name string, v float64) {
 func (c *Circuit) SourceDC(name string) float64 {
 	e, ok := c.byName[name]
 	if !ok {
+		//lint:allow nopanic documented accessor contract: unknown element is a programming error
 		panic(fmt.Sprintf("mna: no element %q in circuit %q", name, c.name))
 	}
 	return e.dc
@@ -207,6 +212,7 @@ func (c *Circuit) SourceDC(name string) float64 {
 func (c *Circuit) Perturb(name string, delta float64) (restore func()) {
 	e, ok := c.byName[name]
 	if !ok {
+		//lint:allow nopanic documented accessor contract: unknown element is a programming error
 		panic(fmt.Sprintf("mna: no element %q in circuit %q", name, c.name))
 	}
 	old := e.value
@@ -243,6 +249,7 @@ func (c *Circuit) ElementNames(kinds ...ElementKind) []string {
 func (c *Circuit) Kind(name string) ElementKind {
 	e, ok := c.byName[name]
 	if !ok {
+		//lint:allow nopanic documented accessor contract: unknown element is a programming error
 		panic(fmt.Sprintf("mna: no element %q in circuit %q", name, c.name))
 	}
 	return e.kind

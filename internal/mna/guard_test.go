@@ -56,7 +56,7 @@ func TestSolveHonorsContext(t *testing.T) {
 func TestSolveChaosSite(t *testing.T) {
 	c := divider()
 	ctx := chaos.Into(context.Background(),
-		chaos.New(1, 1, chaos.AtSites("mna.solve"), chaos.WithAction(chaos.Error)))
+		chaos.New(1, 1, chaos.AtSites(chaos.SiteMNASolve), chaos.WithAction(chaos.Error)))
 	c.BindContext(ctx)
 	if _, err := c.DC(); err == nil {
 		t.Fatal("chaos at mna.solve with prob 1 did not fire")

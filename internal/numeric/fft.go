@@ -31,6 +31,7 @@ func fftDir(x []complex128, sign float64) {
 		return
 	}
 	if n&(n-1) != 0 {
+		//lint:allow nopanic power-of-two length precondition
 		panic(fmt.Sprintf("numeric: FFT length %d is not a power of two", n))
 	}
 	// Bit-reversal permutation.

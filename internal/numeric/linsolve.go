@@ -199,6 +199,7 @@ func Linspace(lo, hi float64, n int) []float64 {
 // must be positive.
 func Logspace(lo, hi float64, n int) []float64 {
 	if lo <= 0 || hi <= 0 {
+		//lint:allow nopanic positive-bounds precondition
 		panic("numeric: Logspace requires positive bounds")
 	}
 	pts := Linspace(math.Log10(lo), math.Log10(hi), n)

@@ -101,9 +101,9 @@ type Headline struct {
 	PeakNodes     int64   `json:"peak_nodes,omitempty"`
 	NodesAlloc    int64   `json:"nodes_alloc,omitempty"`
 	MNASolves     int64   `json:"mna_solves,omitempty"`
-	Retries       int64   `json:"retries,omitempty"`       // guard.retries: extra attempts spent on aborts
-	Panics        int64   `json:"panics,omitempty"`        // guard.panics: recovered panics
-	BudgetTrips   int64   `json:"budget_trips,omitempty"`  // bdd.budget.trips: node-budget aborts
+	Retries       int64   `json:"retries,omitempty"`      // guard.retries: extra attempts spent on aborts
+	Panics        int64   `json:"panics,omitempty"`       // guard.panics: recovered panics
+	BudgetTrips   int64   `json:"budget_trips,omitempty"` // bdd.budget.trips: node-budget aborts
 	SpansDropped  int64   `json:"spans_dropped,omitempty"`
 	EventsDropped int64   `json:"events_dropped,omitempty"`
 }

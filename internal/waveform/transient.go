@@ -55,7 +55,7 @@ func StepResponseCtx(ctx context.Context, c *mna.Circuit, out string, window flo
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("waveform: step response of %q: %w", c.Name(), err)
 		}
-		if err := chaos.Step(ctx, "waveform.step", c.Name()); err != nil {
+		if err := chaos.Step(ctx, chaos.SiteWaveformStep, c.Name()); err != nil {
 			return nil, fmt.Errorf("waveform: step response of %q: %w", c.Name(), err)
 		}
 		f := float64(k) / window

@@ -130,7 +130,7 @@ func TestStepResponseCtxCancel(t *testing.T) {
 func TestStepResponseChaosSite(t *testing.T) {
 	c := rcCircuit()
 	ctx := chaos.Into(context.Background(),
-		chaos.New(9, 1, chaos.AtSites("waveform.step"), chaos.WithAction(chaos.Error)))
+		chaos.New(9, 1, chaos.AtSites(chaos.SiteWaveformStep), chaos.WithAction(chaos.Error)))
 	if _, err := StepResponseCtx(ctx, c, "out", 1e-3, 1024); err == nil {
 		t.Fatal("chaos at waveform.step with prob 1 did not fire")
 	}
