@@ -46,7 +46,9 @@ func main() {
 		all          = flag.Bool("all", false, "print unchanged metrics too")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] OLD.json NEW.json\n")
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] OLD.json NEW.json\n\n")
+		fmt.Fprintf(os.Stderr, "benchdiff is one of the repo's CI gates, next to `go vet` and the\n")
+		fmt.Fprintf(os.Stderr, "msalint static-analysis gate (`go run ./cmd/msalint ./...`).\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()

@@ -35,6 +35,14 @@
 // -chaos-* flags and reports degradation through its exit code (0 all
 // classified, 1 degraded, 2 usage error).
 //
+// The project's cross-cutting contracts (contexts thread through Ctx
+// variants, spans end on all paths, mna construction errors are
+// consulted, chaos sites come from the internal/guard/chaos registry,
+// panics stay behind the guard) are enforced by a standard-library-only
+// static analysis suite, internal/lint, run as cmd/msalint — a blocking
+// CI job next to go vet. Deliberate exceptions carry inline
+// "//lint:allow <check> <reason>" directives.
+//
 // See README.md for the layout, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 // The benchmarks in bench_test.go regenerate every table and figure of
