@@ -74,6 +74,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The header names the baseline and its schema generation, so a CI
+	// log always records exactly what the run was compared against.
+	fmt.Printf("baseline %s (schema v%d)\n", flag.Arg(0), oldRep.Schema())
+	if oldRep.Schema() != newRep.Schema() {
+		fmt.Fprintf(os.Stderr, "benchdiff: schema mismatch: %s is v%d but %s is v%d — metrics from different generations do not compare\n",
+			flag.Arg(0), oldRep.Schema(), flag.Arg(1), newRep.Schema())
+		fmt.Fprintln(os.Stderr, "benchdiff: refresh the baseline with: benchgen -obs "+flag.Arg(0))
+		os.Exit(2)
+	}
+
 	th := benchfmt.Thresholds{
 		LatencySlack:    *latSlack,
 		HitRateSlack:    *hitSlack,

@@ -57,7 +57,10 @@ func emitObs(path, only string) error {
 	if only != "" {
 		names = []string{only}
 	}
-	report := benchfmt.Report{GeneratedAt: time.Now()}
+	report := benchfmt.Report{
+		SchemaVersion: benchfmt.CurrentSchemaVersion,
+		GeneratedAt:   time.Now(),
+	}
 	for _, name := range names {
 		c, err := iscas.Benchmark(name)
 		if err != nil {

@@ -25,7 +25,11 @@
 //	msatpg -report-text -          # ... same report, human-readable
 //	msatpg -trace-chrome trace.json  # Chrome trace_event export; load
 //	                                 # in chrome://tracing or Perfetto
-//	msatpg -pprof localhost:6060   # serve net/http/pprof + /debug/vars
+//	msatpg -live localhost:6060    # live ops server: SSE /events, /varz,
+//	                               # /samples, /progressz, pprof with
+//	                               # phase=/fault= labels (-pprof is an
+//	                               # alias serving the same surface)
+//	msatpg -live :6060 -live-sample 500ms -live-linger 30s
 //
 // Exit status:
 //
@@ -47,8 +51,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
-	_ "net/http/pprof"
+	"net"
 	"os"
 	"strings"
 	"time"
@@ -64,6 +67,7 @@ import (
 	"repro/internal/guard/chaos"
 	"repro/internal/iscas"
 	"repro/internal/obs"
+	"repro/internal/obs/live"
 	"repro/internal/report"
 )
 
@@ -93,6 +97,10 @@ type options struct {
 	chaosSeed   int64
 	chaosSites  string
 	chaosAction string
+
+	live       string
+	liveSample time.Duration
+	liveLinger time.Duration
 }
 
 // realMain is main with the process edges (args, stdio, exit code) made
@@ -119,7 +127,10 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	reportOut := fs.String("report", "", "write the structured run report as JSON to this file, or - for stdout")
 	reportText := fs.String("report-text", "", "write the run report in human-readable form to this file, or - for stdout")
 	traceChrome := fs.String("trace-chrome", "", "write a Chrome trace_event JSON file (chrome://tracing, Perfetto)")
-	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar (obs counters) on this address, e.g. localhost:6060")
+	fs.StringVar(&opt.live, "live", "", "serve the live ops surface (SSE /events, /varz, /samples, /progressz, labeled pprof) on this address, e.g. localhost:6060")
+	fs.DurationVar(&opt.liveSample, "live-sample", live.DefaultSampleInterval, "live server: snapshot sampler interval for /samples")
+	fs.DurationVar(&opt.liveLinger, "live-linger", 0, "live server: keep serving this long after the run completes, so a late scraper still sees the final state")
+	pprofAddr := fs.String("pprof", "", "alias for -live (the profiling endpoints are part of the live ops surface)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: msatpg [flags]\n\nExit status:\n")
 		fmt.Fprintf(stderr, "  0  every fault classified (tested, dropped or provably untestable)\n")
@@ -138,19 +149,55 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	if *pprofAddr != "" {
-		obs.PublishExpvar("obs", obs.Default)
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintf(stderr, "msatpg: pprof server: %v\n", err)
-			}
-		}()
-		fmt.Fprintf(stderr, "msatpg: profiling on http://%s/debug/pprof/ (obs counters at /debug/vars)\n", *pprofAddr)
+	if opt.live == "" {
+		opt.live = *pprofAddr
+	} else if *pprofAddr != "" && *pprofAddr != opt.live {
+		fmt.Fprintln(stderr, "msatpg: -pprof is an alias for -live; set one address, not two")
+		return 2
 	}
 
-	degraded, err := run(opt, stdout)
+	// The base context carries the chaos injector, so both the run loop
+	// and the live server's SSE write site (via BaseContext) see it.
+	ctx := context.Background()
+	in, cerr := chaosInjector(opt)
+	if cerr != nil {
+		fmt.Fprintf(stderr, "msatpg: %v\n", cerr)
+		return 2
+	}
+	if in != nil {
+		ctx = chaos.Into(ctx, in)
+	}
+
+	var lv *live.Server
+	liveDone := make(chan error, 1)
+	stopLive := func() {}
+	if opt.live != "" {
+		ln, lerr := net.Listen("tcp", opt.live)
+		if lerr != nil {
+			fmt.Fprintf(stderr, "msatpg: -live %s: %v\n", opt.live, lerr)
+			return 2
+		}
+		lv = live.NewServer(obs.Default, live.WithSampleInterval(opt.liveSample))
+		liveCtx, cancelLive := context.WithCancel(ctx)
+		stopLive = cancelLive
+		go func() { liveDone <- lv.Serve(liveCtx, ln) }()
+		fmt.Fprintf(stderr, "msatpg: live ops on http://%s/ (events, varz, samples, progressz, pprof)\n", ln.Addr())
+	} else {
+		close(liveDone)
+	}
+
+	degraded, err := run(ctx, opt, stdout, lv)
 	if werr := writeObs(*stats, *traceOut, *reportOut, *reportText, *traceChrome); err == nil {
 		err = werr
+	}
+	lv.SetPhase("done")
+	if lv != nil && opt.liveLinger > 0 {
+		fmt.Fprintf(stderr, "msatpg: run complete; live server lingering %v\n", opt.liveLinger)
+		time.Sleep(opt.liveLinger)
+	}
+	stopLive()
+	if serr := <-liveDone; serr != nil {
+		fmt.Fprintf(stderr, "msatpg: live server: %v\n", serr)
 	}
 	if err != nil {
 		fmt.Fprintf(stderr, "msatpg: %v\n", err)
@@ -262,7 +309,10 @@ func chaosInjector(opt options) (*chaos.Injector, error) {
 	return chaos.New(opt.chaosSeed, opt.chaosProb, copts...), nil
 }
 
-func run(opt options, stdout io.Writer) (degraded bool, err error) {
+// run executes the three-phase flow. ctx is the process base context
+// (carrying the chaos injector, when one is configured); lv, when non-nil,
+// is the live ops server whose /healthz and /progressz report the phase.
+func run(ctx context.Context, opt options, stdout io.Writer, lv *live.Server) (degraded bool, err error) {
 	var (
 		mx       *core.Mixed
 		elements []string
@@ -307,12 +357,6 @@ func run(opt options, stdout io.Writer) (degraded bool, err error) {
 		BDDNodes:   opt.bddBudget,
 		MaxRetries: opt.retries,
 	}
-	ctx := context.Background()
-	if in, cerr := chaosInjector(opt); cerr != nil {
-		return false, cerr
-	} else if in != nil {
-		ctx = chaos.Into(ctx, in)
-	}
 	runCtx, cancelRun := limits.WithRunContext(ctx)
 	defer cancelRun()
 
@@ -351,6 +395,7 @@ func run(opt options, stdout io.Writer) (degraded bool, err error) {
 	var prop *core.Propagator
 	elemAborted, elemTimedOut := 0, 0
 	if err := func() error {
+		lv.SetPhase("analog")
 		defer obs.Default.StartSpan("phase.analog").End()
 		fmt.Fprintln(stdout, "\n-- analog element tests (activation + D propagation) --")
 		matrix, err := analog.BuildMatrix(mx.Analog, elements, params, analog.DefaultEDOptions())
@@ -407,6 +452,7 @@ func run(opt options, stdout io.Writer) (degraded bool, err error) {
 
 	// 2. Conversion-block coverage.
 	if err := func() error {
+		lv.SetPhase("conversion")
 		defer obs.Default.StartSpan("phase.conversion").End()
 		census, err := mx.CensusPropagation(prop)
 		if err != nil {
@@ -428,6 +474,7 @@ func run(opt options, stdout io.Writer) (degraded bool, err error) {
 	// 3. Constrained digital stuck-at ATPG.
 	var res *atpg.Result
 	if err := func() error {
+		lv.SetPhase("digital")
 		defer obs.Default.StartSpan("phase.digital").End()
 		fmt.Fprintln(stdout, "\n-- digital stuck-at ATPG under the conversion constraints --")
 		gen, err := atpg.New(mx.Digital)

@@ -3,10 +3,15 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/report"
 )
@@ -145,6 +150,8 @@ func TestUsageErrorsExit2(t *testing.T) {
 		{"-chaos-prob", "0.5", "-chaos-action", "explode"},
 		{"-no-such-flag"},
 		{"positional"},
+		{"-live", "not-an-address"},
+		{"-live", "127.0.0.1:6060", "-pprof", "127.0.0.1:7070"},
 	}
 	for _, args := range cases {
 		var out, errw bytes.Buffer
@@ -174,5 +181,87 @@ func TestCorruptCheckpointExit2(t *testing.T) {
 	var out, errw bytes.Buffer
 	if code := realMain([]string{"-checkpoint", path}, &out, &errw); code != 2 {
 		t.Errorf("corrupt checkpoint: exit code = %d, want 2\nstderr:\n%s", code, errw.String())
+	}
+}
+
+// lockedBuffer is a bytes.Buffer safe for the concurrent writes the
+// live-server test performs (realMain writing stderr in one goroutine,
+// the test reading it from another).
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// TestLiveServerEndToEnd runs the real flow with -live on an ephemeral
+// port and scrapes the ops surface while it is up: the announced URL
+// must serve /healthz and /progressz, and the run must still exit 0.
+func TestLiveServerEndToEnd(t *testing.T) {
+	var out lockedBuffer
+	var errw lockedBuffer
+	code := make(chan int, 1)
+	go func() {
+		code <- realMain([]string{"-live", "127.0.0.1:0", "-live-linger", "2s"}, &out, &errw)
+	}()
+
+	urlRE := regexp.MustCompile(`http://[^/\s]+`)
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if m := urlRE.FindString(errw.String()); m != "" {
+			base = m
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("live server URL never announced on stderr:\n%s", errw.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	get := func(path string) []byte {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("reading %s: %v", path, err)
+		}
+		return body
+	}
+	var health struct {
+		Status string `json:"status"`
+		Phase  string `json:"phase"`
+	}
+	if err := json.Unmarshal(get("/healthz"), &health); err != nil {
+		t.Fatalf("healthz JSON: %v", err)
+	}
+	if health.Status != "ok" || health.Phase == "" {
+		t.Errorf("healthz = %+v, want ok with a phase", health)
+	}
+	if !bytes.Contains(get("/progressz"), []byte(`"faults"`)) {
+		t.Error("progressz does not report faults")
+	}
+
+	if c := <-code; c != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr:\n%s", c, errw.String())
+	}
+	if !strings.Contains(errw.String(), "live ops on") {
+		t.Errorf("stderr does not announce the live server:\n%s", errw.String())
 	}
 }

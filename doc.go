@@ -18,10 +18,15 @@
 // event log, on the standard library only): cmd/msatpg exposes the
 // metrics via -stats, -trace-out, -report/-report-text (structured run
 // reports built by internal/report), -trace-chrome (Chrome trace_event
-// export) and -pprof; cmd/benchgen records them per benchmark with -obs
-// in the internal/benchfmt schema; cmd/benchdiff compares two such
-// snapshots with regression thresholds; and atpg.Result carries a
-// per-run snapshot in its Stats field.
+// export) and -live (internal/obs/live, the live ops surface: SSE event
+// streaming with Last-Event-ID resume, a snapshot sampler serving
+// per-interval deltas and rates at /samples, /healthz and /progressz
+// run progress, and pprof endpoints whose CPU samples carry phase=,
+// fault=, frame= and element= labels threaded through the run loop);
+// cmd/benchgen records them per benchmark with -obs in the versioned
+// internal/benchfmt schema; cmd/benchdiff compares two such snapshots
+// with regression thresholds and refuses cross-generation diffs; and
+// atpg.Result carries a per-run snapshot in its Stats field.
 //
 // Execution is hardened through internal/guard: every work item (fault,
 // analog element, time frame) runs inside a harness that converts

@@ -1,0 +1,66 @@
+package atpg
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"runtime/pprof"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// TestCPUProfileCarriesPhaseLabels proves the pprof.Do wrapping in the
+// run loop actually reaches the profiler: a CPU profile captured while
+// ATPG runs must contain the phase label strings, which is what makes
+// `go tool pprof -tags` attribution from the live ops server work. The
+// profile proto's string table is stored as raw UTF-8 inside the
+// gzipped payload, so decompress-and-search needs no proto decoder.
+func TestCPUProfileCarriesPhaseLabels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CPU-bound profiling test")
+	}
+	sawOwnCode := false
+	for attempt := 0; attempt < 4; attempt++ {
+		var buf bytes.Buffer
+		if err := pprof.StartCPUProfile(&buf); err != nil {
+			t.Skipf("CPU profiling unavailable: %v", err)
+		}
+		// A large random phase keeps the run inside pprof.Do-labeled
+		// regions for nearly all of its CPU time, so the sampler (100Hz)
+		// is all but guaranteed to land labeled samples within 250ms.
+		deadline := time.Now().Add(250 * time.Millisecond)
+		for time.Now().Before(deadline) {
+			c := adder(t)
+			g, err := New(c)
+			if err != nil {
+				pprof.StopCPUProfile()
+				t.Fatal(err)
+			}
+			g.Run(faults.All(c), WithRandomPhase(2000, 1))
+		}
+		pprof.StopCPUProfile()
+
+		gz, err := gzip.NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("profile is not gzip: %v", err)
+		}
+		raw, err := io.ReadAll(gz)
+		if err != nil {
+			t.Fatalf("decompressing profile: %v", err)
+		}
+		if bytes.Contains(raw, []byte("phase")) &&
+			(bytes.Contains(raw, []byte("random")) || bytes.Contains(raw, []byte("deterministic"))) {
+			return
+		}
+		if bytes.Contains(raw, []byte("repro/internal/atpg")) {
+			sawOwnCode = true
+		}
+	}
+	if sawOwnCode {
+		t.Error("CPU samples landed in the ATPG run loop but carried no phase label — pprof.Do wrapping is not reaching the profiler")
+	} else {
+		t.Skip("no CPU samples landed in ATPG code (heavily loaded or throttled machine)")
+	}
+}

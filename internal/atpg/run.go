@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/bdd"
@@ -226,27 +227,32 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 		randSpan := g.col.StartSpan("atpg.random_phase")
 		rng := rand.New(rand.NewSource(cfg.randomSeed))
 		nIn := len(g.c.Inputs())
-		for k := 0; k < cfg.randomVectors; k++ {
-			if runCtx.Err() != nil {
-				break
-			}
-			v := make(faults.Vector, nIn)
-			for i := range v {
-				v[i] = rng.Intn(2) == 1
-			}
-			if g.constraint != bdd.True {
-				// Only patterns satisfying Fc may be applied.
-				if !g.m.Eval(g.constraint, v.Assignment(g.c)) {
-					continue
+		// CPU samples taken inside this block carry phase=random, so a
+		// profile scraped from the live ops server splits time between
+		// the random and deterministic phases.
+		pprof.Do(runCtx, pprof.Labels("phase", "random"), func(ctx context.Context) {
+			for k := 0; k < cfg.randomVectors; k++ {
+				if ctx.Err() != nil {
+					break
+				}
+				v := make(faults.Vector, nIn)
+				for i := range v {
+					v[i] = rng.Intn(2) == 1
+				}
+				if g.constraint != bdd.True {
+					// Only patterns satisfying Fc may be applied.
+					if !g.m.Eval(g.constraint, v.Assignment(g.c)) {
+						continue
+					}
+				}
+				before := res.Detected
+				dropWith(v, -1, fmt.Sprintf("random[%d]", k), true)
+				if res.Detected > before {
+					res.Vectors = append(res.Vectors, v)
+					g.col.Counter("atpg.vectors").Inc()
 				}
 			}
-			before := res.Detected
-			dropWith(v, -1, fmt.Sprintf("random[%d]", k), true)
-			if res.Detected > before {
-				res.Vectors = append(res.Vectors, v)
-				g.col.Counter("atpg.vectors").Inc()
-			}
-		}
+		})
 		g.col.Counter("atpg.random.hits").Add(int64(res.RandomHits))
 		randSpan.End()
 	}
@@ -274,24 +280,31 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 		// budget-tripped fault gets a realistic second chance), and the
 		// "atpg.fault" chaos site for fault-injection tests.
 		itemCtx, cancelItem := cfg.limits.WithItemContext(runCtx)
-		out := guard.Run(itemCtx, g.col, name, policy, func(ctx context.Context, attempt int) error {
-			if err := chaos.Step(ctx, chaos.SiteATPGFault, name); err != nil {
-				return err
-			}
-			g.m.BindContext(ctx)
-			if cfg.limits.BDDNodes > 0 {
-				g.m.SetNodeBudget(cfg.limits.BDDNodes << attempt)
-			}
-			return bdd.Guard(func() error {
-				s := g.TestFunction(fs[i])
-				if g.col != nil {
-					productNodes = g.m.NodeCount(s)
+		var out guard.Outcome
+		// The fault's name labels every CPU sample under its solve, so
+		// `go tool pprof -tags` attributes profile time to individual
+		// faults (and phase=deterministic separates it from the random
+		// phase and the analog flow).
+		pprof.Do(itemCtx, pprof.Labels("phase", "deterministic", "fault", name), func(itemCtx context.Context) {
+			out = guard.Run(itemCtx, g.col, name, policy, func(ctx context.Context, attempt int) error {
+				if err := chaos.Step(ctx, chaos.SiteATPGFault, name); err != nil {
+					return err
 				}
-				var assign map[string]bool
-				if assign, ok = g.m.SatOneConstrained(s, g.inputNames); ok {
-					v = faults.VectorFromAssignment(g.c, assign)
+				g.m.BindContext(ctx)
+				if cfg.limits.BDDNodes > 0 {
+					g.m.SetNodeBudget(cfg.limits.BDDNodes << attempt)
 				}
-				return nil
+				return bdd.Guard(func() error {
+					s := g.TestFunction(fs[i])
+					if g.col != nil {
+						productNodes = g.m.NodeCount(s)
+					}
+					var assign map[string]bool
+					if assign, ok = g.m.SatOneConstrained(s, g.inputNames); ok {
+						v = faults.VectorFromAssignment(g.c, assign)
+					}
+					return nil
+				})
 			})
 		})
 		cancelItem()

@@ -3,6 +3,8 @@ package atpg
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"time"
 
 	"repro/internal/bdd"
@@ -186,11 +188,15 @@ func RunSequentialCtx(ctx context.Context, seq *logic.SeqCircuit, fs []faults.Fa
 	sites := make([][]faults.Fault, len(fs))
 	for t := 0; t < frames; t++ {
 		frameSpan := col.StartSpan("atpg.seq.frame")
-		for fi, f := range fs {
-			if ff, ok := frameFault(seq, unrolled, f, t); ok {
-				sites[fi] = append(sites[fi], ff)
+		// frame= labels CPU samples per time frame, so a profile shows
+		// which frame of the expansion the mapping cost lands in.
+		pprof.Do(runCtx, pprof.Labels("phase", "seq.map", "frame", strconv.Itoa(t)), func(context.Context) {
+			for fi, f := range fs {
+				if ff, ok := frameFault(seq, unrolled, f, t); ok {
+					sites[fi] = append(sites[fi], ff)
+				}
 			}
-		}
+		})
 		frameSpan.End()
 	}
 	res := &SequentialResult{Frames: frames, Total: len(fs)}
@@ -206,17 +212,20 @@ func RunSequentialCtx(ctx context.Context, seq *logic.SeqCircuit, fs []faults.Fa
 		var v faults.Vector
 		var ok bool
 		itemCtx, cancelItem := limits.WithItemContext(runCtx)
-		out := guard.Do(itemCtx, col, name, func(c context.Context) error {
-			if err := chaos.Step(c, chaos.SiteATPGSeqFault, name); err != nil {
-				return err
-			}
-			g.m.BindContext(c)
-			if limits.BDDNodes > 0 {
-				g.m.SetNodeBudget(limits.BDDNodes)
-			}
-			return bdd.Guard(func() error {
-				v, ok = g.GenerateVectorSet(sites[fi])
-				return nil
+		var out guard.Outcome
+		pprof.Do(itemCtx, pprof.Labels("phase", "sequential", "fault", name), func(itemCtx context.Context) {
+			out = guard.Do(itemCtx, col, name, func(c context.Context) error {
+				if err := chaos.Step(c, chaos.SiteATPGSeqFault, name); err != nil {
+					return err
+				}
+				g.m.BindContext(c)
+				if limits.BDDNodes > 0 {
+					g.m.SetNodeBudget(limits.BDDNodes)
+				}
+				return bdd.Guard(func() error {
+					v, ok = g.GenerateVectorSet(sites[fi])
+					return nil
+				})
 			})
 		})
 		cancelItem()

@@ -42,11 +42,29 @@ type Circuit struct {
 	Constrained *Run   `json:"constrained"`
 }
 
+// CurrentSchemaVersion is the schema generation benchgen writes. Bump it
+// when a field is added whose absence would silently skew a comparison —
+// benchdiff refuses to diff snapshots from different generations, so a
+// stale committed baseline reads as "regenerate me", not as a phantom
+// regression.
+const CurrentSchemaVersion = 2
+
 // Report is the top-level BENCH_obs.json document.
 type Report struct {
-	GeneratedAt time.Time `json:"generated_at"`
-	GoVersion   string    `json:"go_version,omitempty"`
-	Circuits    []Circuit `json:"circuits"`
+	SchemaVersion int       `json:"schema_version,omitempty"`
+	GeneratedAt   time.Time `json:"generated_at"`
+	GoVersion     string    `json:"go_version,omitempty"`
+	Circuits      []Circuit `json:"circuits"`
+}
+
+// Schema returns the snapshot's schema generation. Snapshots written
+// before versioning existed carry no schema_version field; they are
+// generation 1.
+func (r *Report) Schema() int {
+	if r.SchemaVersion == 0 {
+		return 1
+	}
+	return r.SchemaVersion
 }
 
 // Load reads a BENCH_obs.json snapshot from disk.

@@ -1,0 +1,52 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSchemaDefaultsToV1ForLegacySnapshots(t *testing.T) {
+	dir := t.TempDir()
+	legacy := filepath.Join(dir, "legacy.json")
+	// A pre-versioning snapshot: no schema_version field at all.
+	if err := os.WriteFile(legacy, []byte(`{"generated_at":"2026-01-01T00:00:00Z","circuits":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Load(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Schema(); got != 1 {
+		t.Errorf("legacy snapshot Schema() = %d, want 1", got)
+	}
+}
+
+func TestSchemaRoundTripsThroughJSON(t *testing.T) {
+	out := Report{SchemaVersion: CurrentSchemaVersion}
+	data, err := json.Marshal(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in Report
+	if err := json.Unmarshal(data, &in); err != nil {
+		t.Fatal(err)
+	}
+	if in.Schema() != CurrentSchemaVersion {
+		t.Errorf("round-tripped Schema() = %d, want %d", in.Schema(), CurrentSchemaVersion)
+	}
+}
+
+func TestCommittedBaselineIsCurrentSchema(t *testing.T) {
+	// The committed CI baseline must always be on the current generation,
+	// or every benchdiff gate run would exit 2.
+	r, err := Load(filepath.Join("..", "..", "testdata", "BENCH_baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema() != CurrentSchemaVersion {
+		t.Errorf("testdata/BENCH_baseline.json is schema v%d, want v%d — regenerate it with benchgen -obs",
+			r.Schema(), CurrentSchemaVersion)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -47,8 +48,20 @@ func (mx *Mixed) TestAnalogElement(p *Propagator, matrix *analog.Matrix, elem st
 // instead of grinding through every remaining comparator. The element
 // is also the "core.element" chaos site — fault-injection tests force
 // panics and solver errors here to prove one bad element degrades to a
-// classified outcome rather than killing the run.
+// classified outcome rather than killing the run. CPU samples taken
+// under the element's activation/propagation search carry
+// phase=analog and element=<name> pprof labels, so a profile scraped
+// from the live ops server attributes solver time per element.
 func (mx *Mixed) TestAnalogElementCtx(ctx context.Context, p *Propagator, matrix *analog.Matrix, elem string, bound Bound) (ElementTest, error) {
+	var res ElementTest
+	var err error
+	pprof.Do(ctx, pprof.Labels("phase", "analog", "element", elem), func(ctx context.Context) {
+		res, err = mx.testAnalogElement(ctx, p, matrix, elem, bound)
+	})
+	return res, err
+}
+
+func (mx *Mixed) testAnalogElement(ctx context.Context, p *Propagator, matrix *analog.Matrix, elem string, bound Bound) (ElementTest, error) {
 	defer obs.Default.StartSpan("core.element_test").End()
 	start := time.Now()
 	res := ElementTest{Element: elem, Bound: bound}

@@ -41,6 +41,12 @@ const (
 	// SiteCoreElement wraps one analog element test in
 	// core.(*Mixed).TestAnalogElementCtx.
 	SiteCoreElement = "core.element"
+	// SiteLiveSSE wraps one SSE frame write on the live ops server's
+	// /events stream (internal/obs/live), so slow or failing streaming
+	// clients can be exercised deterministically: an injected error
+	// drops the client connection, an injected timeout models a client
+	// that stopped reading.
+	SiteLiveSSE = "live.sse.write"
 )
 
 // Sites returns every registered injection site name, in registry order.
@@ -51,6 +57,7 @@ func Sites() []string {
 		SiteMNASolve,
 		SiteWaveformStep,
 		SiteCoreElement,
+		SiteLiveSSE,
 	}
 }
 

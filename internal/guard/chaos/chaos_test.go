@@ -127,4 +127,12 @@ func TestSiteRegistry(t *testing.T) {
 	if KnownSite("no.such.site") {
 		t.Error(`KnownSite("no.such.site") = true`)
 	}
+	// The live ops server's SSE write boundary is a registered site, so
+	// msatpg -chaos-sites live.sse.write can target streaming clients.
+	if !seen[SiteLiveSSE] {
+		t.Errorf("registry %v is missing SiteLiveSSE (%q)", sites, SiteLiveSSE)
+	}
+	if !KnownSite("live.sse.write") {
+		t.Error(`KnownSite("live.sse.write") = false`)
+	}
 }

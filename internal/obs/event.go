@@ -103,6 +103,40 @@ func (l *EventLog) events() ([]Event, int64) {
 	return out, l.total - int64(len(l.buf))
 }
 
+// eventsSince returns the retained events with sequence number ≥ seq,
+// oldest first, plus the sequence of the first returned event. Events
+// are numbered from 0 in append order; when seq predates the ring's
+// retention the returned first exceeds seq by the number of events that
+// were overwritten before they could be read. An up-to-date seq (== the
+// next sequence to be assigned) returns an empty slice.
+func (l *EventLog) eventsSince(seq int64) ([]Event, int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	oldest := l.total - int64(len(l.buf))
+	if seq < oldest {
+		seq = oldest
+	}
+	if seq >= l.total {
+		return nil, l.total
+	}
+	out := make([]Event, 0, l.total-seq)
+	// Oldest-first ring order is buf[next:] then buf[:next]; skip the
+	// first seq-oldest of them.
+	for i := seq - oldest; i < int64(len(l.buf)); i++ {
+		j := (int64(l.next) + i) % int64(len(l.buf))
+		out = append(out, l.buf[j])
+	}
+	return out, seq
+}
+
+// seq returns the sequence number the next appended event will get —
+// equivalently, how many events were ever appended.
+func (l *EventLog) seq() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
 // Event records an instant event stamped now. No-op on a nil collector.
 func (c *Collector) Event(kind, name string, attrs ...Attr) {
 	if c == nil {
@@ -132,13 +166,42 @@ func (c *Collector) EventSince(kind, name string, start time.Time, attrs ...Attr
 	})
 }
 
-// Events returns a copy of the retained event log, oldest first.
+// Events returns a copy of the retained event log, oldest first — i.e.
+// in append (sequence) order. The copy is a consistent point-in-time
+// snapshot taken under the ring lock: events appended after the call
+// began are not included, and the returned slice is never mutated by
+// later appends, so it is safe to read concurrently with an active run
+// (the SSE streamer in internal/obs/live does exactly that).
 func (c *Collector) Events() []Event {
 	if c == nil {
 		return nil
 	}
 	evs, _ := c.events.events()
 	return evs
+}
+
+// EventsSince returns the retained events with sequence number ≥ seq,
+// oldest first, plus the sequence number of the first returned event.
+// Sequence numbers count appends from 0 over the collector's lifetime,
+// so they survive ring overflow: when seq has already been overwritten,
+// first > seq and the difference is the number of events lost to the
+// reader. A reader that polls with the last sequence it saw therefore
+// gets exactly the new events, and can detect (and size) any gap.
+// Returns (nil, 0) on a nil collector.
+func (c *Collector) EventsSince(seq int64) ([]Event, int64) {
+	if c == nil {
+		return nil, 0
+	}
+	return c.events.eventsSince(seq)
+}
+
+// EventSeq returns the sequence number the next event will be assigned —
+// equivalently, how many events were ever appended to this collector.
+func (c *Collector) EventSeq() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.events.seq()
 }
 
 // EventsDropped returns how many events were overwritten by ring overflow.

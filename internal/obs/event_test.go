@@ -65,12 +65,54 @@ func TestEventRingOverwritesOldest(t *testing.T) {
 	}
 }
 
+func TestEventsSince(t *testing.T) {
+	c := NewCollector(WithMaxEvents(4))
+	for i := int64(0); i < 3; i++ {
+		c.Event("k", "e", Int("i", i))
+	}
+	// In-retention resume: exactly the new events, no gap.
+	evs, first := c.EventsSince(1)
+	if first != 1 || len(evs) != 2 {
+		t.Fatalf("EventsSince(1) = %d events from %d, want 2 from 1", len(evs), first)
+	}
+	if evs[0].Attr("i") != "1" || evs[1].Attr("i") != "2" {
+		t.Errorf("EventsSince(1) events = %v %v, want i:1 i:2", evs[0].Attrs, evs[1].Attrs)
+	}
+	// Up-to-date resume: empty, first == next sequence.
+	if evs, first = c.EventsSince(3); len(evs) != 0 || first != 3 {
+		t.Errorf("EventsSince(3) = %d events from %d, want 0 from 3", len(evs), first)
+	}
+	if got := c.EventSeq(); got != 3 {
+		t.Errorf("EventSeq() = %d, want 3", got)
+	}
+	// Overflow: the ring holds sequences 6..9; resuming from 2 reports
+	// the gap through first.
+	for i := int64(3); i < 10; i++ {
+		c.Event("k", "e", Int("i", i))
+	}
+	evs, first = c.EventsSince(2)
+	if first != 6 || len(evs) != 4 {
+		t.Fatalf("EventsSince(2) after overflow = %d events from %d, want 4 from 6", len(evs), first)
+	}
+	for j, want := range []string{"6", "7", "8", "9"} {
+		if got := evs[j].Attr("i"); got != want {
+			t.Errorf("event %d = i:%s, want i:%s", j, got, want)
+		}
+	}
+}
+
 func TestEventNilCollector(t *testing.T) {
 	var c *Collector
 	c.Event("k", "n")
 	c.EventSince("k", "n", time.Now())
 	if evs := c.Events(); evs != nil {
 		t.Errorf("nil collector events = %v", evs)
+	}
+	if evs, first := c.EventsSince(0); evs != nil || first != 0 {
+		t.Errorf("nil collector EventsSince = %v, %d", evs, first)
+	}
+	if seq := c.EventSeq(); seq != 0 {
+		t.Errorf("nil collector EventSeq = %d", seq)
 	}
 	if d := c.EventsDropped(); d != 0 {
 		t.Errorf("nil collector dropped = %d", d)

@@ -1,0 +1,136 @@
+package live
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/guard/chaos"
+	"repro/internal/obs"
+)
+
+// DefaultPollInterval is how often the /events streamer polls the event
+// ring for new entries unless overridden with WithPollInterval.
+const DefaultPollInterval = 100 * time.Millisecond
+
+// writeFrame writes one event as an SSE frame. The id line carries the
+// event's collector-lifetime sequence number, so a disconnected client
+// resumes exactly where it stopped by echoing it back as Last-Event-ID;
+// the event line carries the work-item kind ("fault", "element", ...)
+// so EventSource listeners can subscribe per kind.
+func writeFrame(w io.Writer, seq int64, ev obs.Event) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", seq, ev.Kind, data)
+	return err
+}
+
+// writeGap notifies the client that missed events were overwritten by
+// ring overflow before they could be streamed. The frame deliberately
+// has no id line: the missed events are gone, so the resume cursor must
+// not advance past data the client never saw twice.
+func writeGap(w io.Writer, missed int64) error {
+	_, err := fmt.Fprintf(w, "event: dropped\ndata: {\"missed\":%d}\n\n", missed)
+	return err
+}
+
+// writeFrames streams evs (whose first event has sequence number first)
+// to w, returning the count written and the first error. Each frame
+// write is the chaos.SiteLiveSSE injection site, keyed by the frame's
+// sequence number: a firing injector stands in for a slow or failing
+// client, and the handler reacts exactly as it would to a real write
+// error — it drops the connection.
+func writeFrames(ctx context.Context, w io.Writer, evs []obs.Event, first int64) (int, error) {
+	for i, ev := range evs {
+		seq := first + int64(i)
+		if err := chaos.Step(ctx, chaos.SiteLiveSSE, strconv.FormatInt(seq, 10)); err != nil {
+			return i, err
+		}
+		if err := writeFrame(w, seq, ev); err != nil {
+			return i, err
+		}
+	}
+	return len(evs), nil
+}
+
+// handleEvents streams the collector's event log as Server-Sent Events.
+//
+// Without a Last-Event-ID header the stream starts at the oldest event
+// the ring retains (so a fresh client immediately gets the backlog);
+// with one, it resumes at the next sequence number. When the client
+// falls behind the ring — more events were appended than the ring holds
+// between two polls, or the resume point was already overwritten — the
+// gap is counted on the live.sse.dropped counter and announced in-band
+// with a "dropped" frame before streaming continues from the oldest
+// retained event.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	// An injected chaos panic at the write site degrades to a dropped
+	// client — the guard-layer philosophy applied to streaming: one bad
+	// client never takes the ops server (or the run) down with it.
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.col.Counter("live.sse.panics").Inc()
+		}
+	}()
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported by this connection", http.StatusInternalServerError)
+		return
+	}
+	var seq int64
+	if id := r.Header.Get("Last-Event-ID"); id != "" {
+		n, err := strconv.ParseInt(id, 10, 64)
+		if err != nil || n < 0 {
+			http.Error(w, "malformed Last-Event-ID (want a non-negative integer)", http.StatusBadRequest)
+			return
+		}
+		seq = n + 1
+	}
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-store")
+	h.Set("X-Accel-Buffering", "no") // tell buffering proxies to pass frames through
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, ": msatpg live event stream\nretry: %d\n\n", DefaultPollInterval.Milliseconds())
+	fl.Flush()
+
+	s.col.Gauge("live.sse.clients").Set(s.clients.Add(1))
+	defer func() { s.col.Gauge("live.sse.clients").Set(s.clients.Add(-1)) }()
+
+	ctx := r.Context()
+	tick := time.NewTicker(s.poll)
+	defer tick.Stop()
+	for {
+		evs, first := s.col.EventsSince(seq)
+		if first > seq {
+			s.col.Counter("live.sse.dropped").Add(first - seq)
+			if err := writeGap(w, first-seq); err != nil {
+				return
+			}
+		}
+		n, err := writeFrames(ctx, w, evs, first)
+		s.col.Counter("live.sse.frames").Add(int64(n))
+		if err != nil {
+			// A write failure — real or injected — drops this client;
+			// its next connection resumes from its Last-Event-ID.
+			s.col.Counter("live.sse.write_errors").Inc()
+			return
+		}
+		if n > 0 || first > seq {
+			fl.Flush()
+		}
+		seq = first + int64(n)
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package live
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/guard/chaos"
+	"repro/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden files")
+
+// TestSSEFramingGolden pins the exact wire format of the event stream —
+// id line (sequence number), event line (work-item kind), JSON data
+// line — including the gap-notification frame. Regenerate with
+//
+//	go test ./internal/obs/live -run Golden -update
+func TestSSEFramingGolden(t *testing.T) {
+	evs := []obs.Event{
+		{Kind: "fault", Name: "l0 s-a-1", TimeNs: 1000, DurNs: 250, Attrs: []obs.Attr{
+			obs.Str("outcome", "tested"), obs.Int("product_nodes", 4), obs.Str("vector", "0011"),
+		}},
+		{Kind: "element", Name: "R1", TimeNs: 2000, Attrs: []obs.Attr{
+			obs.Str("outcome", "untestable"), obs.Str("reason", "unpropagatable"),
+		}},
+		{Kind: "comparator", Name: "c2", TimeNs: 3500, DurNs: 40},
+	}
+	var buf bytes.Buffer
+	if err := writeGap(&buf, 6); err != nil {
+		t.Fatal(err)
+	}
+	n, err := writeFrames(context.Background(), &buf, evs, 6)
+	if err != nil || n != len(evs) {
+		t.Fatalf("writeFrames = %d, %v, want %d, nil", n, err, len(evs))
+	}
+
+	golden := filepath.Join("testdata", "sse_frames.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("SSE framing drifted from golden.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// sseFrame is one parsed frame of a test client's stream.
+type sseFrame struct {
+	id    string
+	event string
+	data  string
+}
+
+// readFrames parses up to n frames from an SSE stream.
+func readFrames(t *testing.T, r *bufio.Reader, n int) []sseFrame {
+	t.Helper()
+	var out []sseFrame
+	var cur sseFrame
+	for len(out) < n {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream ended after %d frames: %v", len(out), err)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			cur.id = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if cur != (sseFrame{}) {
+				out = append(out, cur)
+				cur = sseFrame{}
+			}
+		}
+	}
+	return out
+}
+
+// newSSETestServer serves a live.Server over a fast poll interval with
+// the given base context behind every request.
+func newSSETestServer(t *testing.T, ctx context.Context, col *obs.Collector) (*Server, *httptest.Server) {
+	t.Helper()
+	s := NewServer(col, WithPollInterval(2*time.Millisecond))
+	ts := httptest.NewUnstartedServer(s.Handler())
+	ts.Config.BaseContext = func(net.Listener) context.Context { return ctx }
+	ts.Start()
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func TestSSEStreamAndResume(t *testing.T) {
+	col := obs.NewCollector()
+	for i := 0; i < 5; i++ {
+		col.Event("fault", fmt.Sprintf("f%d", i), obs.Int("i", int64(i)))
+	}
+	_, ts := newSSETestServer(t, context.Background(), col)
+
+	// First connection: the retained backlog streams immediately.
+	resp, err := http.Get(ts.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q, want text/event-stream", ct)
+	}
+	frames := readFrames(t, bufio.NewReader(resp.Body), 3)
+	resp.Body.Close()
+	for i, f := range frames {
+		if f.id != strconv.Itoa(i) || f.event != "fault" {
+			t.Errorf("frame %d = id %q event %q, want id %d event fault", i, f.id, f.event, i)
+		}
+		if !strings.Contains(f.data, fmt.Sprintf(`"name":"f%d"`, i)) {
+			t.Errorf("frame %d data = %s, want event f%d", i, f.data, i)
+		}
+	}
+
+	// Resume: Last-Event-ID names the last frame processed, the stream
+	// continues at the next sequence — no replay, no gap.
+	req, _ := http.NewRequest("GET", ts.URL+"/events", nil)
+	req.Header.Set("Last-Event-ID", "2")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	frames = readFrames(t, bufio.NewReader(resp.Body), 2)
+	if frames[0].id != "3" || frames[1].id != "4" {
+		t.Errorf("resumed ids = %q, %q, want 3, 4", frames[0].id, frames[1].id)
+	}
+
+	// Live tail: an event appended after the client connected arrives.
+	col.Event("fault", "late", obs.Str("outcome", "tested"))
+	late := readFrames(t, bufio.NewReader(resp.Body), 1)[0]
+	if late.id != "5" || !strings.Contains(late.data, `"name":"late"`) {
+		t.Errorf("late frame = %+v, want id 5 name late", late)
+	}
+}
+
+func TestSSEMalformedResumeID(t *testing.T) {
+	_, ts := newSSETestServer(t, context.Background(), obs.NewCollector())
+	req, _ := http.NewRequest("GET", ts.URL+"/events", nil)
+	req.Header.Set("Last-Event-ID", "not-a-number")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestSSEDropNotificationWhenBehindRing(t *testing.T) {
+	// A 4-slot ring that saw 10 events retains 6..9; a fresh client gets
+	// an explicit dropped-frame first, and the drop counter records it.
+	col := obs.NewCollector(obs.WithMaxEvents(4))
+	for i := 0; i < 10; i++ {
+		col.Event("fault", fmt.Sprintf("f%d", i))
+	}
+	_, ts := newSSETestServer(t, context.Background(), col)
+	resp, err := http.Get(ts.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	frames := readFrames(t, bufio.NewReader(resp.Body), 2)
+	if frames[0].event != "dropped" || frames[0].data != `{"missed":6}` {
+		t.Errorf("first frame = %+v, want dropped/missed:6", frames[0])
+	}
+	if frames[1].id != "6" {
+		t.Errorf("first event frame id = %q, want 6 (oldest retained)", frames[1].id)
+	}
+	if got := col.Snapshot().Counters["live.sse.dropped"]; got != 6 {
+		t.Errorf("live.sse.dropped = %d, want 6", got)
+	}
+}
+
+func TestSSEChaosInjectionDropsClient(t *testing.T) {
+	// An injector firing at the SSE write site models a failing client:
+	// the server must drop that connection, count the error, and keep
+	// serving other endpoints.
+	col := obs.NewCollector()
+	col.Event("fault", "f0")
+	ctx := chaos.Into(context.Background(), chaos.New(1, 1,
+		chaos.AtSites(chaos.SiteLiveSSE), chaos.WithAction(chaos.Error)))
+	_, ts := newSSETestServer(t, ctx, col)
+
+	resp, err := http.Get(ts.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(resp.Body)
+	for {
+		line, rerr := r.ReadString('\n')
+		if rerr != nil {
+			break // connection dropped by the server, as intended
+		}
+		if strings.HasPrefix(line, "id: ") {
+			t.Fatalf("got an event frame %q despite injection at every write", line)
+		}
+	}
+	resp.Body.Close()
+	if got := col.Snapshot().Counters["live.sse.write_errors"]; got == 0 {
+		t.Error("live.sse.write_errors = 0, want > 0")
+	}
+	// The rest of the surface is unaffected.
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || hresp.StatusCode != 200 {
+		t.Fatalf("healthz after chaos = %v, %v", hresp, err)
+	}
+	hresp.Body.Close()
+}
+
+func TestSSEChaosPanicIsRecovered(t *testing.T) {
+	col := obs.NewCollector()
+	col.Event("fault", "f0")
+	ctx := chaos.Into(context.Background(), chaos.New(1, 1,
+		chaos.AtSites(chaos.SiteLiveSSE), chaos.WithAction(chaos.Panic)))
+	_, ts := newSSETestServer(t, ctx, col)
+
+	resp, err := http.Get(ts.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream ends without frames; the handler recovered the panic.
+	if _, err := readAll(resp.Body); err != nil {
+		t.Logf("stream ended with %v (acceptable: connection died)", err)
+	}
+	resp.Body.Close()
+	if got := col.Snapshot().Counters["live.sse.panics"]; got != 1 {
+		t.Errorf("live.sse.panics = %d, want 1", got)
+	}
+}
+
+func readAll(r interface{ Read([]byte) (int, error) }) ([]byte, error) {
+	var buf bytes.Buffer
+	_, err := buf.ReadFrom(r)
+	return buf.Bytes(), err
+}
+
+// TestSSEConcurrentReadsDuringActiveRun is the race test for the
+// Collector.Events/EventsSince snapshot semantics: several streaming
+// clients read while a producer goroutine appends (an active run) and
+// another scrapes snapshots. Run under -race (CI does).
+func TestSSEConcurrentReadsDuringActiveRun(t *testing.T) {
+	col := obs.NewCollector(obs.WithMaxEvents(64))
+	_, ts := newSSETestServer(t, context.Background(), col)
+
+	stop := make(chan struct{})
+	var producer sync.WaitGroup
+	producer.Add(1)
+	go func() { // the "run": a steady stream of per-fault events
+		defer producer.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			col.Event("fault", fmt.Sprintf("f%d", i), obs.Int("i", int64(i)))
+			if i%16 == 0 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	var readers sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			resp, err := http.Get(ts.URL + "/events")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			r := bufio.NewReader(resp.Body)
+			frames := 0
+			for frames < 40 {
+				line, err := r.ReadString('\n')
+				if err != nil {
+					t.Errorf("stream ended after %d frames: %v", frames, err)
+					return
+				}
+				if strings.HasPrefix(line, "data: ") {
+					frames++
+				}
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ { // concurrent aggregate scrapes
+		_ = col.Snapshot()
+		time.Sleep(time.Millisecond)
+	}
+	readers.Wait()
+	close(stop)
+	producer.Wait()
+}

@@ -62,7 +62,12 @@ func (c *Collector) Time(name string, fn func()) {
 	sp.End()
 }
 
-// Spans returns a copy of the completed span log.
+// Spans returns a copy of the completed span log, in completion (End)
+// order — not start order: a long phase span that encloses shorter child
+// spans appears after them. Like Events, the copy is a consistent
+// point-in-time snapshot taken under the collector lock; spans ended
+// after the call began are not included, and the returned slice is safe
+// to read concurrently with an active run.
 func (c *Collector) Spans() []SpanRecord {
 	if c == nil {
 		return nil
