@@ -28,6 +28,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -44,6 +45,7 @@ func main() {
 		strictCounts = flag.Bool("strict-counts", true, "treat vector/untestable count changes as regressions")
 		warnOnly     = flag.Bool("warn-only", false, "report regressions but exit 0")
 		all          = flag.Bool("all", false, "print unchanged metrics too")
+		jsonOut      = flag.Bool("json", false, "emit the comparison as a JSON document instead of the table (exit codes unchanged)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] OLD.json NEW.json\n\n")
@@ -75,8 +77,11 @@ func main() {
 	}
 
 	// The header names the baseline and its schema generation, so a CI
-	// log always records exactly what the run was compared against.
-	fmt.Printf("baseline %s (schema v%d)\n", flag.Arg(0), oldRep.Schema())
+	// log always records exactly what the run was compared against. In
+	// -json mode stdout is reserved for the document.
+	if !*jsonOut {
+		fmt.Printf("baseline %s (schema v%d)\n", flag.Arg(0), oldRep.Schema())
+	}
 	if oldRep.Schema() != newRep.Schema() {
 		fmt.Fprintf(os.Stderr, "benchdiff: schema mismatch: %s is v%d but %s is v%d — metrics from different generations do not compare\n",
 			flag.Arg(0), oldRep.Schema(), flag.Arg(1), newRep.Schema())
@@ -95,21 +100,52 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff: no circuits in common between the two snapshots")
 		os.Exit(2)
 	}
-	if err := benchfmt.WriteTable(os.Stdout, deltas, !*all); err != nil {
+	regressed := 0
+	for _, d := range deltas {
+		if d.Regressed {
+			regressed++
+		}
+	}
+	if *jsonOut {
+		doc := jsonReport{
+			Baseline:       flag.Arg(0),
+			Current:        flag.Arg(1),
+			Schema:         oldRep.Schema(),
+			BaselineCommit: oldRep.Commit,
+			CurrentCommit:  newRep.Commit,
+			Thresholds:     th,
+			Regressed:      regressed,
+			Deltas:         deltas,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+	} else if err := benchfmt.WriteTable(os.Stdout, deltas, !*all); err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
 
-	if benchfmt.AnyRegressed(deltas) {
-		n := 0
-		for _, d := range deltas {
-			if d.Regressed {
-				n++
-			}
-		}
-		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed past threshold\n", n)
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed past threshold\n", regressed)
 		if !*warnOnly {
 			os.Exit(1)
 		}
 	}
+}
+
+// jsonReport is the -json output document: the full per-metric delta
+// list plus enough header context (files, commits, schema, thresholds)
+// for a downstream tool to interpret it without re-reading the inputs.
+type jsonReport struct {
+	Baseline       string              `json:"baseline"`
+	Current        string              `json:"current"`
+	Schema         int                 `json:"schema"`
+	BaselineCommit string              `json:"baseline_commit,omitempty"`
+	CurrentCommit  string              `json:"current_commit,omitempty"`
+	Thresholds     benchfmt.Thresholds `json:"thresholds"`
+	Regressed      int                 `json:"regressed"`
+	Deltas         []benchfmt.Delta    `json:"deltas"`
 }

@@ -51,8 +51,11 @@ func benchRun(res *atpg.Result) *benchfmt.Run {
 
 // emitObs runs free and constrained ATPG on each benchmark circuit, each
 // under a fresh collector so the embedded snapshots are per-configuration,
-// and writes the report as JSON in the benchfmt schema.
-func emitObs(path, only string) error {
+// and writes the report as JSON in the benchfmt schema. With traceChrome
+// set, the per-configuration collectors are child lanes of one root
+// collector instead, and the merged span log is additionally written as a
+// Chrome trace — each circuit/configuration on its own tid lane.
+func emitObs(path, only, commit, traceChrome string) error {
 	names := obsCircuits
 	if only != "" {
 		names = []string{only}
@@ -60,6 +63,25 @@ func emitObs(path, only string) error {
 	report := benchfmt.Report{
 		SchemaVersion: benchfmt.CurrentSchemaVersion,
 		GeneratedAt:   time.Now(),
+		Commit:        commit,
+	}
+	var traceRoot *obs.Collector
+	var lanes []*obs.Collector
+	if traceChrome != "" {
+		traceRoot = obs.NewCollector()
+	}
+	// newCol returns the collector one configuration runs under: a fresh
+	// standalone one normally, or a tracked child lane when tracing. A
+	// child is still a per-configuration collector — its snapshot holds
+	// only its own lane's activity — so the embedded bench stats are
+	// identical either way.
+	newCol := func(track string) *obs.Collector {
+		if traceRoot == nil {
+			return obs.NewCollector()
+		}
+		lane := traceRoot.NewChild(track)
+		lanes = append(lanes, lane)
+		return lane
 	}
 	for _, name := range names {
 		c, err := iscas.Benchmark(name)
@@ -69,13 +91,13 @@ func emitObs(path, only string) error {
 		fs := faults.Collapse(c)
 		rec := benchfmt.Circuit{Circuit: name, Faults: len(fs)}
 
-		gFree, err := atpg.New(c, atpg.WithCollector(obs.NewCollector()))
+		gFree, err := atpg.New(c, atpg.WithCollector(newCol(name+"/free")))
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		rec.Free = benchRun(gFree.Run(fs))
 
-		gCons, err := atpg.New(c, atpg.WithCollector(obs.NewCollector()))
+		gCons, err := atpg.New(c, atpg.WithCollector(newCol(name+"/constrained")))
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
@@ -87,6 +109,22 @@ func emitObs(path, only string) error {
 		fmt.Fprintf(os.Stderr, "benchgen: %s — free %d vec in %v (ITE hit %.1f%%), constrained %d vec in %v (ITE hit %.1f%%)\n",
 			name, rec.Free.Vectors, time.Duration(rec.Free.CPUNs).Round(time.Millisecond), 100*rec.Free.ITEHitRate,
 			rec.Constrained.Vectors, time.Duration(rec.Constrained.CPUNs).Round(time.Millisecond), 100*rec.Constrained.ITEHitRate)
+	}
+
+	if traceRoot != nil {
+		traceRoot.Merge(lanes...)
+		f, err := os.Create(traceChrome)
+		if err != nil {
+			return err
+		}
+		if err := traceRoot.Snapshot().WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "benchgen: wrote Chrome trace (%d lanes) to %s\n", len(lanes), traceChrome)
 	}
 
 	w := os.Stdout

@@ -359,6 +359,11 @@ func run(ctx context.Context, opt options, stdout io.Writer, lv *live.Server) (d
 	}
 	runCtx, cancelRun := limits.WithRunContext(ctx)
 	defer cancelRun()
+	// The root span of the whole invocation: every phase span below is
+	// created from runCtx, so the trace is one causal tree and the
+	// critical-path section of the report can walk run → phase → item.
+	runSpan, runCtx := obs.Default.StartSpanCtx(runCtx, "msatpg.run")
+	defer runSpan.End()
 
 	var ckpt *guard.Checkpoint
 	if opt.checkpoint != "" {
@@ -396,7 +401,8 @@ func run(ctx context.Context, opt options, stdout io.Writer, lv *live.Server) (d
 	elemAborted, elemTimedOut := 0, 0
 	if err := func() error {
 		lv.SetPhase("analog")
-		defer obs.Default.StartSpan("phase.analog").End()
+		span, phaseCtx := obs.Default.StartSpanCtx(runCtx, "phase.analog")
+		defer span.End()
 		fmt.Fprintln(stdout, "\n-- analog element tests (activation + D propagation) --")
 		matrix, err := analog.BuildMatrix(mx.Analog, elements, params, analog.DefaultEDOptions())
 		if err != nil {
@@ -409,7 +415,7 @@ func run(ctx context.Context, opt options, stdout io.Writer, lv *live.Server) (d
 		for _, elem := range elements {
 			elem := elem
 			var verdict core.ElementTest
-			itemCtx, cancelItem := limits.WithItemContext(runCtx)
+			itemCtx, cancelItem := limits.WithItemContext(phaseCtx)
 			out := guard.Do(itemCtx, obs.Default, "element:"+elem, func(ctx context.Context) error {
 				v, terr := mx.TestAnalogElementCtx(ctx, prop, matrix, elem, core.UpperBound)
 				if terr != nil {
@@ -453,7 +459,8 @@ func run(ctx context.Context, opt options, stdout io.Writer, lv *live.Server) (d
 	// 2. Conversion-block coverage.
 	if err := func() error {
 		lv.SetPhase("conversion")
-		defer obs.Default.StartSpan("phase.conversion").End()
+		span, _ := obs.Default.StartSpanCtx(runCtx, "phase.conversion")
+		defer span.End()
 		census, err := mx.CensusPropagation(prop)
 		if err != nil {
 			return err
@@ -475,7 +482,8 @@ func run(ctx context.Context, opt options, stdout io.Writer, lv *live.Server) (d
 	var res *atpg.Result
 	if err := func() error {
 		lv.SetPhase("digital")
-		defer obs.Default.StartSpan("phase.digital").End()
+		span, phaseCtx := obs.Default.StartSpanCtx(runCtx, "phase.digital")
+		defer span.End()
 		fmt.Fprintln(stdout, "\n-- digital stuck-at ATPG under the conversion constraints --")
 		gen, err := atpg.New(mx.Digital)
 		if err != nil {
@@ -484,7 +492,7 @@ func run(ctx context.Context, opt options, stdout io.Writer, lv *live.Server) (d
 		fc := mx.Conv.ConstraintBDD(gen.Manager(), mx.Binding)
 		gen.SetConstraint(fc)
 		fs := faults.Collapse(mx.Digital)
-		runOpts := []atpg.RunOption{atpg.WithContext(runCtx), atpg.WithLimits(limits)}
+		runOpts := []atpg.RunOption{atpg.WithContext(phaseCtx), atpg.WithLimits(limits)}
 		if ckpt != nil {
 			runOpts = append(runOpts, atpg.WithCheckpoint(ckpt))
 		}

@@ -14,8 +14,11 @@
 // the last OBDD variable.
 //
 // The whole pipeline is instrumented through internal/obs (atomic
-// counters, gauges, histograms, spans and a per-work-item structured
-// event log, on the standard library only): cmd/msatpg exposes the
+// counters, gauges, histograms, causal spans — parent-linked through
+// contexts, with lane-major ids so sharded runs merge into one
+// deterministic trace via Collector.NewChild/Merge — a per-work-item
+// structured event log, and a runtime/metrics bridge, on the standard
+// library only): cmd/msatpg exposes the
 // metrics via -stats, -trace-out, -report/-report-text (structured run
 // reports built by internal/report), -trace-chrome (Chrome trace_event
 // export) and -live (internal/obs/live, the live ops surface: SSE event

@@ -1,0 +1,155 @@
+package atpg
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/iscas"
+	"repro/internal/obs"
+)
+
+// shardedRun models the sharded run loop the collector merge contract
+// exists for: the c432 fault list is split across nShards child
+// collectors, each shard's ATPG runs concurrently on its own lane (own
+// generator, own BDD manager), and the children merge into one parent.
+// The children are created serially before the fan-out, so lane numbers
+// — and with them every span id — are identical across runs.
+func shardedRun(t *testing.T, nShards int) []*obs.Collector {
+	t.Helper()
+	c := iscas.MustBenchmark("c432")
+	all := faults.Collapse(c)
+	root := obs.NewCollector()
+	children := make([]*obs.Collector, nShards)
+	for i := range children {
+		children[i] = root.NewChild(fmt.Sprintf("shard%d", i))
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, nShards)
+	for i, child := range children {
+		var shard []faults.Fault
+		for j := i; j < len(all); j += nShards {
+			shard = append(shard, all[j])
+		}
+		wg.Add(1)
+		go func(i int, child *obs.Collector, shard []faults.Fault) {
+			defer wg.Done()
+			g, err := New(c, WithCollector(child))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			g.Run(shard, WithRandomPhase(16, 42))
+		}(i, child, shard)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("shard %d: New: %v", i, err)
+		}
+	}
+	return children
+}
+
+// normalizeMerged strips everything wall-clock-derived from a merged
+// snapshot, leaving only the run's logical content: latency histograms
+// keep their (deterministic) observation counts but lose their timing
+// statistics, spans and events lose their timestamps and durations.
+func normalizeMerged(s *obs.Snapshot) {
+	s.TakenAt = time.Time{}
+	s.OffsetNs = 0
+	for name, h := range s.Histograms {
+		if strings.HasSuffix(name, "_ns") {
+			s.Histograms[name] = obs.HistogramSnapshot{Count: h.Count}
+		}
+	}
+	for i := range s.Spans {
+		s.Spans[i].StartNs, s.Spans[i].DurNs = 0, 0
+	}
+	for i := range s.Events {
+		s.Events[i].TimeNs, s.Events[i].DurNs = 0, 0
+	}
+}
+
+func mergedJSON(t *testing.T, children []*obs.Collector, order []int) []byte {
+	t.Helper()
+	parent := obs.NewCollector()
+	ordered := make([]*obs.Collector, len(order))
+	for i, j := range order {
+		ordered[i] = children[j]
+	}
+	parent.Merge(ordered...)
+	snap := parent.Snapshot()
+	normalizeMerged(snap)
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestShardedATPGMergeDeterministic is the acceptance test for the
+// collector merge contract: four ATPG shards run concurrently on child
+// collectors (race-checked under -race), and the merged snapshot is
+// byte-identical JSON — across merge orders and across two full runs
+// with the same seed — once wall-clock fields are normalized away.
+func TestShardedATPGMergeDeterministic(t *testing.T) {
+	const nShards = 4
+	children := shardedRun(t, nShards)
+
+	forward := mergedJSON(t, children, []int{0, 1, 2, 3})
+	shuffled := mergedJSON(t, children, []int{2, 0, 3, 1})
+	if !bytes.Equal(forward, shuffled) {
+		t.Errorf("merge depends on child order:\n--- forward ---\n%s\n--- shuffled ---\n%s",
+			trunc(forward), trunc(shuffled))
+	}
+
+	again := mergedJSON(t, shardedRun(t, nShards), []int{0, 1, 2, 3})
+	if !bytes.Equal(forward, again) {
+		t.Errorf("merged snapshot differs between identical runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+			trunc(forward), trunc(again))
+	}
+
+	// Sanity on the merged content: all four lanes present, causal span
+	// tree intact (per-fault spans parented by the deterministic phase).
+	parent := obs.NewCollector()
+	parent.Merge(children...)
+	snap := parent.Snapshot()
+	tracks := map[string]bool{}
+	parentIDs := map[int64]bool{}
+	for _, sp := range snap.Spans {
+		tracks[sp.Track] = true
+		if sp.ID != 0 {
+			parentIDs[sp.ID] = true
+		}
+	}
+	for i := 0; i < nShards; i++ {
+		if !tracks[fmt.Sprintf("shard%d", i)] {
+			t.Errorf("merged snapshot missing track shard%d", i)
+		}
+	}
+	linked := 0
+	for _, sp := range snap.Spans {
+		if sp.Name == "atpg.fault" && parentIDs[sp.ParentID] {
+			linked++
+		}
+	}
+	if linked == 0 {
+		t.Error("no atpg.fault span is linked to a parent span in the merged log")
+	}
+	if got := snap.Counters["atpg.faults.total"]; got != int64(len(faults.Collapse(iscas.MustBenchmark("c432")))) {
+		t.Errorf("merged atpg.faults.total = %d, want the full collapsed fault count", got)
+	}
+}
+
+func trunc(b []byte) []byte {
+	const max = 4096
+	if len(b) <= max {
+		return b
+	}
+	return append(b[:max:max], []byte("...")...)
+}

@@ -117,7 +117,10 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 	defer cancelRun()
 	start := time.Now()
 	snapBefore := g.col.Snapshot()
-	runSpan := g.col.StartSpan("atpg.run")
+	// The run span goes into the context so phase and per-fault spans
+	// below — and any caller-side span already in cfg.ctx — chain into
+	// one causal tree.
+	runSpan, runCtx := g.col.StartSpanCtx(runCtx, "atpg.run")
 	latency := g.col.Histogram("atpg.fault.latency_ns")
 	cDetected := g.col.Counter("atpg.faults.detected")
 	cDropped := g.col.Counter("atpg.faults.dropped")
@@ -224,13 +227,13 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 	// Optional random phase. The rng lives and dies with this call; see
 	// WithRandomPhase for the reproducibility contract.
 	if cfg.randomVectors > 0 {
-		randSpan := g.col.StartSpan("atpg.random_phase")
+		randSpan, randCtx := g.col.StartSpanCtx(runCtx, "atpg.random_phase")
 		rng := rand.New(rand.NewSource(cfg.randomSeed))
 		nIn := len(g.c.Inputs())
 		// CPU samples taken inside this block carry phase=random, so a
 		// profile scraped from the live ops server splits time between
 		// the random and deterministic phases.
-		pprof.Do(runCtx, pprof.Labels("phase", "random"), func(ctx context.Context) {
+		pprof.Do(randCtx, pprof.Labels("phase", "random"), func(ctx context.Context) {
 			for k := 0; k < cfg.randomVectors; k++ {
 				if ctx.Err() != nil {
 					break
@@ -261,7 +264,7 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 	// outcome, latency, the size of the constrained product S and (when
 	// tested) the witness vector — the per-work-item record the run
 	// report and the Chrome trace are built from.
-	detSpan := g.col.StartSpan("atpg.deterministic_phase")
+	detSpan, detCtx := g.col.StartSpanCtx(runCtx, "atpg.deterministic_phase")
 	policy := guard.RetryPolicy{
 		MaxRetries: cfg.limits.MaxRetries,
 		Backoff:    cfg.limits.RetryBackoff,
@@ -278,8 +281,11 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 		// Each fault runs inside the guard harness: panic isolation,
 		// per-fault deadline, BDD node budget (doubled on each retry so a
 		// budget-tripped fault gets a realistic second chance), and the
-		// "atpg.fault" chaos site for fault-injection tests.
-		itemCtx, cancelItem := cfg.limits.WithItemContext(runCtx)
+		// "atpg.fault" chaos site for fault-injection tests. The fault's
+		// span is a child of the deterministic phase, so the critical-path
+		// walk descends from the phase straight to the slowest fault.
+		faultSpan, faultCtx := g.col.StartSpanCtx(detCtx, "atpg.fault")
+		itemCtx, cancelItem := cfg.limits.WithItemContext(faultCtx)
 		var out guard.Outcome
 		// The fault's name labels every CPU sample under its solve, so
 		// `go tool pprof -tags` attributes profile time to individual
@@ -313,6 +319,7 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 			g.m.SetNodeBudget(0)
 		}
 		res.Retries += out.Retries()
+		faultSpan.End()
 		latency.Observe(time.Since(faultStart).Nanoseconds())
 		switch out.Class {
 		case guard.TimedOut:

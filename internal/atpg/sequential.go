@@ -152,11 +152,12 @@ type SequentialResult struct {
 // initial state. Faults still untestable at this depth are reported (a
 // larger frame count may detect them).
 //
-// The run is traced on obs.Default (the generator's collector): an
-// "atpg.seq.run" span over the whole run, an "atpg.seq.unroll" span for
-// the expansion, one "atpg.seq.frame" span per time frame (fault-site
-// mapping), and one "seq.fault" event per core fault with its outcome
-// and site count.
+// The run is traced on obs.Default (the generator's collector) as one
+// causal tree: an "atpg.seq.run" span over the whole run with child
+// spans "atpg.seq.unroll" (the expansion), one "atpg.seq.frame" per
+// time frame (fault-site mapping) and one "atpg.seq.fault" per targeted
+// core fault, plus one "seq.fault" event per core fault with its
+// outcome and site count.
 func RunSequential(seq *logic.SeqCircuit, fs []faults.Fault, frames int, initial map[string]bool) (*SequentialResult, error) {
 	return RunSequentialCtx(context.Background(), seq, fs, frames, initial, guard.Limits{})
 }
@@ -170,10 +171,11 @@ func RunSequential(seq *logic.SeqCircuit, fs []faults.Fault, frames int, initial
 // chaos site.
 func RunSequentialCtx(ctx context.Context, seq *logic.SeqCircuit, fs []faults.Fault, frames int, initial map[string]bool, limits guard.Limits) (*SequentialResult, error) {
 	col := obs.Default
-	defer col.StartSpan("atpg.seq.run").End()
+	runSpan, ctx := col.StartSpanCtx(ctx, "atpg.seq.run")
+	defer runSpan.End()
 	runCtx, cancelRun := limits.WithRunContext(ctx)
 	defer cancelRun()
-	unrollSpan := col.StartSpan("atpg.seq.unroll")
+	unrollSpan, _ := col.StartSpanCtx(runCtx, "atpg.seq.unroll")
 	unrolled, err := seq.Unroll(frames, initial)
 	unrollSpan.End()
 	if err != nil {
@@ -187,10 +189,10 @@ func RunSequentialCtx(ctx context.Context, seq *logic.SeqCircuit, fs []faults.Fa
 	// the per-timeframe cost shows up directly in the trace.
 	sites := make([][]faults.Fault, len(fs))
 	for t := 0; t < frames; t++ {
-		frameSpan := col.StartSpan("atpg.seq.frame")
+		frameSpan, frameCtx := col.StartSpanCtx(runCtx, "atpg.seq.frame")
 		// frame= labels CPU samples per time frame, so a profile shows
 		// which frame of the expansion the mapping cost lands in.
-		pprof.Do(runCtx, pprof.Labels("phase", "seq.map", "frame", strconv.Itoa(t)), func(context.Context) {
+		pprof.Do(frameCtx, pprof.Labels("phase", "seq.map", "frame", strconv.Itoa(t)), func(context.Context) {
 			for fi, f := range fs {
 				if ff, ok := frameFault(seq, unrolled, f, t); ok {
 					sites[fi] = append(sites[fi], ff)
@@ -211,7 +213,8 @@ func RunSequentialCtx(ctx context.Context, seq *logic.SeqCircuit, fs []faults.Fa
 		}
 		var v faults.Vector
 		var ok bool
-		itemCtx, cancelItem := limits.WithItemContext(runCtx)
+		faultSpan, faultCtx := col.StartSpanCtx(runCtx, "atpg.seq.fault")
+		itemCtx, cancelItem := limits.WithItemContext(faultCtx)
 		var out guard.Outcome
 		pprof.Do(itemCtx, pprof.Labels("phase", "sequential", "fault", name), func(itemCtx context.Context) {
 			out = guard.Do(itemCtx, col, name, func(c context.Context) error {
@@ -229,6 +232,7 @@ func RunSequentialCtx(ctx context.Context, seq *logic.SeqCircuit, fs []faults.Fa
 			})
 		})
 		cancelItem()
+		faultSpan.End()
 		g.m.BindContext(nil)
 		if limits.BDDNodes > 0 {
 			g.m.SetNodeBudget(0)

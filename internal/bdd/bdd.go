@@ -117,6 +117,9 @@ type metrics struct {
 	budgetTrips               *obs.Counter
 	cancels                   *obs.Counter
 	peakNodes                 *obs.Gauge
+	// col backs the rare-path "bdd.trip" events (budget trip, cancel);
+	// nil when uninstrumented. Hot paths never touch it.
+	col *obs.Collector
 }
 
 // Instrument points the manager's hot-path metrics at the collector
@@ -132,6 +135,10 @@ type metrics struct {
 //	bdd.budget.trips                    per-work-item node-budget trips
 //	bdd.cancels                         constructions aborted by context
 //	bdd.nodes.peak (gauge)              largest arena observed
+//
+// Budget trips and cancels additionally emit a structured "bdd.trip"
+// event on the collector (they are rare — at most one per work item),
+// so the run timeline shows when and why a construction was cut short.
 func (m *Manager) Instrument(c *obs.Collector) {
 	if c == nil {
 		m.met = metrics{}
@@ -151,6 +158,7 @@ func (m *Manager) Instrument(c *obs.Collector) {
 		budgetTrips:  c.Counter("bdd.budget.trips"),
 		cancels:      c.Counter("bdd.cancels"),
 		peakNodes:    c.Gauge("bdd.nodes.peak"),
+		col:          c,
 	}
 	m.met.peakNodes.SetMax(int64(len(m.nodes)))
 }
@@ -264,6 +272,12 @@ func (m *Manager) SetNodeBudget(n int) {
 func (m *Manager) checkGuards() {
 	if m.budget > 0 && len(m.nodes)-m.budgetMark >= m.budget {
 		m.met.budgetTrips.Inc()
+		// Trips are rare (at most one per work item) so the structured
+		// event — visible on /events and in the run report timeline — is
+		// affordable here, unlike on the allocation fast path.
+		m.met.col.Event("bdd.trip", "budget",
+			obs.Int("limit", int64(m.budget)),
+			obs.Int("nodes", int64(len(m.nodes)-m.budgetMark)))
 		panic(&guard.BudgetError{Resource: "bdd-nodes", Limit: int64(m.budget)})
 	}
 	if m.ctx != nil {
@@ -272,6 +286,7 @@ func (m *Manager) checkGuards() {
 			m.ctxStrideN = 0
 			if err := m.ctx.Err(); err != nil {
 				m.met.cancels.Inc()
+				m.met.col.Event("bdd.trip", "cancel", obs.Str("cause", err.Error()))
 				panic(&CancelError{Cause: err})
 			}
 		}

@@ -42,6 +42,15 @@ func TestNodeBudgetTrips(t *testing.T) {
 	if col.Counter("bdd.budget.trips").Load() == 0 {
 		t.Fatal("bdd.budget.trips not counted")
 	}
+	trip := false
+	for _, ev := range col.Snapshot().Events {
+		if ev.Kind == "bdd.trip" && ev.Name == "budget" && ev.Attr("limit") == "8" {
+			trip = true
+		}
+	}
+	if !trip {
+		t.Fatal(`budget trip left no "bdd.trip" event on the collector`)
+	}
 }
 
 func TestNodeBudgetResetPerItem(t *testing.T) {

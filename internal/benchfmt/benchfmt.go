@@ -54,7 +54,13 @@ type Report struct {
 	SchemaVersion int       `json:"schema_version,omitempty"`
 	GeneratedAt   time.Time `json:"generated_at"`
 	GoVersion     string    `json:"go_version,omitempty"`
-	Circuits      []Circuit `json:"circuits"`
+	// Commit is the VCS revision the report was generated from (stamped
+	// by benchgen -commit; CI passes the build SHA). Purely descriptive —
+	// additive, so no schema bump — it lets a trajectory of BENCH files
+	// be correlated back to the commits that produced them.
+	Commit string `json:"commit,omitempty"`
+	// Circuits holds one record per benchmark circuit.
+	Circuits []Circuit `json:"circuits"`
 }
 
 // Schema returns the snapshot's schema generation. Snapshots written

@@ -12,17 +12,17 @@ import (
 type Thresholds struct {
 	// LatencySlack is the tolerated relative increase in time-like
 	// metrics (cpu_ns, fault_p50_ns, fault_p99_ns): 0.10 allows +10%.
-	LatencySlack float64
+	LatencySlack float64 `json:"latency_slack"`
 	// HitRateSlack is the tolerated absolute drop, in points in [0,1],
 	// of the BDD cache hit rates: 0.02 allows a 2-point drop.
-	HitRateSlack float64
+	HitRateSlack float64 `json:"hitrate_slack"`
 	// NodesSlack is the tolerated relative increase in node metrics
 	// (peak_nodes, nodes_alloc).
-	NodesSlack float64
+	NodesSlack float64 `json:"nodes_slack"`
 	// CountsMustMatch flags vector/untestable count changes as
 	// regressions — a count change means the generator's behaviour,
 	// not just its speed, moved.
-	CountsMustMatch bool
+	CountsMustMatch bool `json:"counts_must_match"`
 }
 
 // Defaults are the CI thresholds: +10% latency, −2 points hit rate,

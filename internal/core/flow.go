@@ -62,7 +62,11 @@ func (mx *Mixed) TestAnalogElementCtx(ctx context.Context, p *Propagator, matrix
 }
 
 func (mx *Mixed) testAnalogElement(ctx context.Context, p *Propagator, matrix *analog.Matrix, elem string, bound Bound) (ElementTest, error) {
-	defer obs.Default.StartSpan("core.element_test").End()
+	// The element span joins the caller's causal tree (the msatpg analog
+	// phase) and is itself the parent of whatever instrumented callees
+	// pick up from ctx.
+	span, ctx := obs.Default.StartSpanCtx(ctx, "core.element_test")
+	defer span.End()
 	start := time.Now()
 	res := ElementTest{Element: elem, Bound: bound}
 	if err := chaos.Step(ctx, chaos.SiteCoreElement, elem); err != nil {

@@ -5,22 +5,28 @@ import (
 	"go/types"
 )
 
-// spanend flags obs.Collector.StartSpan results that are not ended on
-// every path out of the function. A leaked span never records its
-// duration, so the span histograms and the Chrome trace silently lose
-// the work item. The robust idiom is
+// spanend flags obs.Collector.StartSpan and StartSpanCtx results that
+// are not ended on every path out of the function. A leaked span never
+// records its duration, so the span histograms and the Chrome trace
+// silently lose the work item. The robust idioms are
 //
 //	defer c.StartSpan("name").End()
 //
+//	span, ctx := c.StartSpanCtx(ctx, "name")
+//	defer span.End()
+//
 // and for phase-style spans that must close before the function ends,
-// an End() with no return statement in between.
+// an End() with no return statement in between. Discarding the span
+// while keeping the context (`_, ctx := c.StartSpanCtx(...)`) is also
+// flagged: the child-linking context is only useful if the span itself
+// is recorded.
 type spanend struct{}
 
 func newSpanend() Check { return &spanend{} }
 
 func (*spanend) Name() string { return "spanend" }
 func (*spanend) Doc() string {
-	return "every obs.Collector.StartSpan result must be End()-ed on all paths"
+	return "every obs.Collector.StartSpan/StartSpanCtx result must be End()-ed on all paths"
 }
 
 func (c *spanend) Run(p *Package) []Finding {
@@ -37,10 +43,11 @@ func (c *spanend) Run(p *Package) []Finding {
 	return out
 }
 
-// isStartSpan reports whether the call is obs.Collector.StartSpan.
+// isStartSpan reports whether the call is obs.Collector.StartSpan or
+// StartSpanCtx (both return a span that must be ended).
 func (c *spanend) isStartSpan(p *Package, call *ast.CallExpr) bool {
 	f := p.calleeFunc(call)
-	if f == nil || f.Name() != "StartSpan" {
+	if f == nil || (f.Name() != "StartSpan" && f.Name() != "StartSpanCtx") {
 		return false
 	}
 	sig, ok := f.Type().(*types.Signature)
@@ -80,12 +87,15 @@ func (c *spanend) checkFunc(p *Package, fn funcNode, out *[]Finding) {
 				}
 			}
 		case *ast.AssignStmt:
-			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+			// span := c.StartSpan(...) or span, ctx := c.StartSpanCtx(...):
+			// either way the span is the first (or only) left-hand slot.
+			if (len(n.Lhs) == 1 || len(n.Lhs) == 2) && len(n.Rhs) == 1 {
 				if call, ok := unparen(n.Rhs[0]).(*ast.CallExpr); ok && c.isStartSpan(p, call) {
 					switch id, ok := n.Lhs[0].(*ast.Ident); {
 					case ok && id.Name == "_":
-						// _ = StartSpan(...) discards the span; leave it
-						// for the discard pass below.
+						// _ = StartSpan(...) or _, ctx = StartSpanCtx(...)
+						// discards the span; leave it for the discard pass
+						// below.
 					case ok:
 						if obj := p.objectOf(id); obj != nil {
 							handled[call] = true

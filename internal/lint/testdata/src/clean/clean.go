@@ -17,7 +17,8 @@ import (
 // deferred span end, Err() consultation, registered chaos site, and a
 // threaded context.
 func Settle(ctx context.Context, col *obs.Collector) ([]float64, error) {
-	defer col.StartSpan("clean.settle").End()
+	span, ctx := col.StartSpanCtx(ctx, "clean.settle")
+	defer span.End()
 	if err := chaos.Step(ctx, chaos.SiteWaveformStep, "clean"); err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@
 package spanend
 
 import (
+	"context"
 	"errors"
 
 	"repro/internal/obs"
@@ -34,6 +35,36 @@ func Waived(col *obs.Collector) {
 // Good uses the idiomatic deferred chain.
 func Good(col *obs.Collector, fail bool) error {
 	defer col.StartSpan("fixture.good").End()
+	if fail {
+		return errFixture
+	}
+	return nil
+}
+
+// BadCtx leaks the causal span when fail is set: the return escapes
+// before End.
+func BadCtx(ctx context.Context, col *obs.Collector, fail bool) error {
+	span, ctx := col.StartSpanCtx(ctx, "fixture.bad_ctx")
+	_ = ctx
+	if fail {
+		return errFixture
+	}
+	span.End()
+	return nil
+}
+
+// DiscardedCtx keeps the context but drops the span: the linkage is
+// recorded into ctx yet the span itself is never ended.
+func DiscardedCtx(ctx context.Context, col *obs.Collector) context.Context {
+	_, ctx = col.StartSpanCtx(ctx, "fixture.discarded_ctx")
+	return ctx
+}
+
+// GoodCtx ends the causal span by defer on every path.
+func GoodCtx(ctx context.Context, col *obs.Collector, fail bool) error {
+	span, ctx := col.StartSpanCtx(ctx, "fixture.good_ctx")
+	defer span.End()
+	_ = ctx
 	if fail {
 		return errFixture
 	}

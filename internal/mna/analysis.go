@@ -160,12 +160,39 @@ func stampAdmittance(addA func(r, c int, v complex128), ia, ib int, y complex128
 
 // Solve counters, resolved once against the process-wide collector. The
 // AC count is the pipeline's unit of analog work: every gain, sweep, ED
-// search and Monte Carlo sample funnels through here.
+// search and Monte Carlo sample funnels through here. Circuits running
+// on a worker lane redirect to their own collector via Instrument.
 var (
 	cSolvesDC  = obs.Default.Counter("mna.solves.dc")
 	cSolvesAC  = obs.Default.Counter("mna.solves.ac")
 	hSolveSize = obs.Default.Histogram("mna.solve.size")
 )
+
+// mnaMetrics is one circuit's set of solve handles, resolved once at
+// Instrument time so the hot path stays a plain pointer chase.
+type mnaMetrics struct {
+	solvesDC  *obs.Counter
+	solvesAC  *obs.Counter
+	solveSize *obs.Histogram
+}
+
+// Instrument redirects this circuit's solve metrics (mna.solves.dc,
+// mna.solves.ac, mna.solve.size) to col instead of the process-wide
+// obs.Default — the hook a sharded run loop uses to attribute analog
+// work to the worker lane (child collector) driving the circuit. A nil
+// col restores the default. Handles are interned once here; solve()
+// itself stays allocation-free.
+func (c *Circuit) Instrument(col *obs.Collector) {
+	if col == nil {
+		c.met = nil
+		return
+	}
+	c.met = &mnaMetrics{
+		solvesDC:  col.Counter("mna.solves.dc"),
+		solvesAC:  col.Counter("mna.solves.ac"),
+		solveSize: col.Histogram("mna.solve.size"),
+	}
+}
 
 // solve runs the analysis at angular frequency omega. It fails fast on
 // a recorded construction error, a done bound context, or an exhausted
@@ -189,13 +216,17 @@ func (c *Circuit) solve(omega, freq float64) (*Solution, error) {
 		}
 		c.solves++
 	}
+	dc, ac, size := cSolvesDC, cSolvesAC, hSolveSize
+	if c.met != nil {
+		dc, ac, size = c.met.solvesDC, c.met.solvesAC, c.met.solveSize
+	}
 	if freq == 0 {
-		cSolvesDC.Inc()
+		dc.Inc()
 	} else {
-		cSolvesAC.Inc()
+		ac.Inc()
 	}
 	a, b, nNodes := c.assemble(omega)
-	hSolveSize.Observe(int64(len(b)))
+	size.Observe(int64(len(b)))
 	x, err := numeric.SolveComplex(a, b)
 	if err != nil {
 		return nil, fmt.Errorf("mna: circuit %q at f=%g Hz: %w", c.name, freq, err)

@@ -26,6 +26,7 @@ type Circuit struct {
 	ctx      context.Context // optional cancellation for analyses
 	budget   int64           // max solves when > 0
 	solves   int64           // solves performed under the budget
+	met      *mnaMetrics     // per-circuit handles; nil = process-wide
 }
 
 // New returns an empty circuit with the given descriptive name.

@@ -1,0 +1,56 @@
+package mna
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestInstrumentRedirectsSolveMetrics verifies the per-circuit collector
+// hook: an instrumented circuit's solves land on its own collector (the
+// worker lane), not on obs.Default, and detaching restores the default.
+func TestInstrumentRedirectsSolveMetrics(t *testing.T) {
+	build := func() *Circuit {
+		c := New("divider")
+		c.AddV("Vin", "in", "0", 10, 10)
+		c.AddR("R1", "in", "out", 1e3)
+		c.AddR("R2", "out", "0", 3e3)
+		return c
+	}
+
+	col := obs.NewCollector()
+	c := build()
+	c.Instrument(col)
+	defaultDC := obs.Default.Counter("mna.solves.dc").Load()
+	if _, err := c.DC(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AC(1e3); err != nil {
+		t.Fatal(err)
+	}
+	snap := col.Snapshot()
+	if got := snap.Counters["mna.solves.dc"]; got != 1 {
+		t.Errorf("lane mna.solves.dc = %d, want 1", got)
+	}
+	if got := snap.Counters["mna.solves.ac"]; got != 1 {
+		t.Errorf("lane mna.solves.ac = %d, want 1", got)
+	}
+	if h := snap.Histograms["mna.solve.size"]; h.Count != 2 {
+		t.Errorf("lane mna.solve.size count = %d, want 2", h.Count)
+	}
+	if got := obs.Default.Counter("mna.solves.dc").Load(); got != defaultDC {
+		t.Errorf("instrumented solve leaked to obs.Default: %d -> %d", defaultDC, got)
+	}
+
+	// Detach: solves fall back to the process-wide collector.
+	c.Instrument(nil)
+	if _, err := c.DC(); err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.Default.Counter("mna.solves.dc").Load(); got != defaultDC+1 {
+		t.Errorf("detached solve not on obs.Default: %d, want %d", got, defaultDC+1)
+	}
+	if got := col.Snapshot().Counters["mna.solves.dc"]; got != 1 {
+		t.Errorf("detached solve still landed on the lane: %d", got)
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"sort"
 )
 
 // traceEvent is one entry of the Chrome trace_event JSON array, the
@@ -15,6 +16,8 @@ type traceEvent struct {
 	Dur   *float64          `json:"dur,omitempty"`
 	PID   int               `json:"pid"`
 	TID   int               `json:"tid"`
+	ID    int64             `json:"id,omitempty"`  // flow-event binding id
+	BP    string            `json:"bp,omitempty"`  // flow binding point
 	Scope string            `json:"s,omitempty"`   // instant-event scope
 	Cat   string            `json:"cat,omitempty"` // event kind
 	Args  map[string]string `json:"args,omitempty"`
@@ -26,29 +29,88 @@ type chromeTrace struct {
 	TraceEvents     []traceEvent `json:"traceEvents"`
 }
 
-// Track layout of the exported trace: spans on one timeline, events on
-// another, so a Perfetto view separates phase structure from per-work-item
-// records.
+// Track layout of the exported trace: every track (worker/shard lane)
+// gets its own pair of tid lanes — one for spans, one for events — so a
+// merged multi-lane run renders as real parallel threads in Perfetto.
+// The root track ("") comes first, keeping single-lane traces on the
+// historical tids 1 (spans) and 2 (events).
 const (
 	tracePID    = 1
-	spansTID    = 1
-	eventsTID   = 2
 	traceMicros = 1e-3 // ns → µs
 )
 
 // WriteChromeTrace writes the snapshot's spans and events as Chrome
-// trace_event JSON. Spans become complete ("X") slices on thread 1,
-// events with a duration become slices on thread 2, instant events
-// become thread-scoped instants ("i") there; event attrs are carried in
-// args. Load the output in chrome://tracing or https://ui.perfetto.dev.
+// trace_event JSON. Spans become complete ("X") slices on their track's
+// span lane — nested slices when their start/end intervals nest — and a
+// parent/child link that crosses tracks additionally becomes a flow
+// arrow ("s"/"f" pair bound by the child's span id), so cross-lane
+// causality stays visible. Events with a duration become slices on the
+// track's event lane, instant events thread-scoped instants ("i") there;
+// event attrs are carried in args. Load the output in chrome://tracing
+// or https://ui.perfetto.dev.
 func (s *Snapshot) WriteChromeTrace(w io.Writer) error {
+	// Collect tracks in deterministic order: root lane first, the rest
+	// sorted by name.
+	seen := map[string]bool{}
+	for _, sp := range s.Spans {
+		seen[sp.Track] = true
+	}
+	for _, ev := range s.Events {
+		seen[ev.Track] = true
+	}
+	tracks := make([]string, 0, len(seen))
+	for t := range seen {
+		if t != "" {
+			tracks = append(tracks, t)
+		}
+	}
+	sort.Strings(tracks)
+	if seen[""] || len(seen) == 0 {
+		tracks = append([]string{""}, tracks...)
+	}
+	spanTID := map[string]int{}
+	eventTID := map[string]int{}
+	for i, t := range tracks {
+		spanTID[t] = 2*i + 1
+		eventTID[t] = 2*i + 2
+	}
+	laneName := func(track, kind string) string {
+		if track == "" {
+			return kind
+		}
+		return track + " " + kind
+	}
+
 	trace := chromeTrace{
 		DisplayTimeUnit: "ns",
 		TraceEvents: []traceEvent{
-			meta("process_name", tracePID, spansTID, "msatpg pipeline"),
-			meta("thread_name", tracePID, spansTID, "spans"),
-			meta("thread_name", tracePID, eventsTID, "events"),
+			meta("process_name", tracePID, spanTID[tracks[0]], "msatpg pipeline"),
 		},
+	}
+	spanLaneUsed := map[string]bool{}
+	eventLaneUsed := map[string]bool{}
+	for _, sp := range s.Spans {
+		spanLaneUsed[sp.Track] = true
+	}
+	for _, ev := range s.Events {
+		eventLaneUsed[ev.Track] = true
+	}
+	for _, t := range tracks {
+		if spanLaneUsed[t] || t == "" {
+			trace.TraceEvents = append(trace.TraceEvents,
+				meta("thread_name", tracePID, spanTID[t], laneName(t, "spans")))
+		}
+		if eventLaneUsed[t] || t == "" {
+			trace.TraceEvents = append(trace.TraceEvents,
+				meta("thread_name", tracePID, eventTID[t], laneName(t, "events")))
+		}
+	}
+
+	byID := make(map[int64]SpanRecord, len(s.Spans))
+	for _, sp := range s.Spans {
+		if sp.ID != 0 {
+			byID[sp.ID] = sp
+		}
 	}
 	for _, sp := range s.Spans {
 		dur := float64(sp.DurNs) * traceMicros
@@ -58,15 +120,26 @@ func (s *Snapshot) WriteChromeTrace(w io.Writer) error {
 			TS:    float64(sp.StartNs) * traceMicros,
 			Dur:   &dur,
 			PID:   tracePID,
-			TID:   spansTID,
+			TID:   spanTID[sp.Track],
 		})
+		// A causal edge that crosses lanes cannot be drawn by slice
+		// nesting; emit a flow arrow from the parent's lane to the
+		// child's start.
+		if parent, ok := byID[sp.ParentID]; ok && parent.Track != sp.Track {
+			ts := float64(sp.StartNs) * traceMicros
+			trace.TraceEvents = append(trace.TraceEvents,
+				traceEvent{Name: sp.Name, Phase: "s", TS: ts, PID: tracePID,
+					TID: spanTID[parent.Track], ID: sp.ID, Cat: "flow"},
+				traceEvent{Name: sp.Name, Phase: "f", BP: "e", TS: ts, PID: tracePID,
+					TID: spanTID[sp.Track], ID: sp.ID, Cat: "flow"})
+		}
 	}
 	for _, ev := range s.Events {
 		te := traceEvent{
 			Name: ev.Name,
 			TS:   float64(ev.TimeNs) * traceMicros,
 			PID:  tracePID,
-			TID:  eventsTID,
+			TID:  eventTID[ev.Track],
 			Cat:  ev.Kind,
 		}
 		if len(ev.Attrs) > 0 {

@@ -36,6 +36,7 @@ func Bool(k string, v bool) Attr { return Attr{Key: k, Value: strconv.FormatBool
 type Event struct {
 	Kind   string `json:"kind"`             // work-item type: "fault", "element", "comparator", ...
 	Name   string `json:"name"`             // work-item identity: fault name, element name, ...
+	Track  string `json:"track,omitempty"`  // lane label of the recording collector
 	TimeNs int64  `json:"time_ns"`          // offset from the collector epoch
 	DurNs  int64  `json:"dur_ns,omitempty"` // 0 for instant events
 	Attrs  []Attr `json:"attrs,omitempty"`
@@ -137,6 +138,13 @@ func (l *EventLog) seq() int64 {
 	return l.total
 }
 
+// capacity returns the ring's fixed capacity.
+func (l *EventLog) capacity() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return cap(l.buf)
+}
+
 // Event records an instant event stamped now. No-op on a nil collector.
 func (c *Collector) Event(kind, name string, attrs ...Attr) {
 	if c == nil {
@@ -145,6 +153,7 @@ func (c *Collector) Event(kind, name string, attrs ...Attr) {
 	c.events.append(Event{
 		Kind:   kind,
 		Name:   name,
+		Track:  c.track,
 		TimeNs: time.Since(c.epoch).Nanoseconds(),
 		Attrs:  attrs,
 	})
@@ -160,6 +169,7 @@ func (c *Collector) EventSince(kind, name string, start time.Time, attrs ...Attr
 	c.events.append(Event{
 		Kind:   kind,
 		Name:   name,
+		Track:  c.track,
 		TimeNs: start.Sub(c.epoch).Nanoseconds(),
 		DurNs:  time.Since(start).Nanoseconds(),
 		Attrs:  attrs,

@@ -72,6 +72,43 @@ func (h *Histogram) Observe(v int64) {
 	}
 }
 
+// merge folds o's observations into h: bucket counts, count and sum add,
+// min/max extend. Both histograms may be concurrently updated; like
+// snapshot, the per-field atomics are not mutually consistent under
+// concurrent writes, which Merge avoids by merging quiesced children.
+func (h *Histogram) merge(o *Histogram) {
+	if h == nil || o == nil {
+		return
+	}
+	oCount := atomic.LoadInt64(&o.count)
+	if oCount == 0 {
+		return
+	}
+	for i := range o.buckets {
+		if n := atomic.LoadInt64(&o.buckets[i]); n > 0 {
+			atomic.AddInt64(&h.buckets[i], n)
+		}
+	}
+	atomic.AddInt64(&h.sum, atomic.LoadInt64(&o.sum))
+	oMin, oMax := atomic.LoadInt64(&o.min), atomic.LoadInt64(&o.max)
+	if atomic.AddInt64(&h.count, oCount) == oCount {
+		atomic.StoreInt64(&h.min, oMin)
+		atomic.StoreInt64(&h.max, oMax)
+	}
+	for {
+		cur := atomic.LoadInt64(&h.min)
+		if oMin >= cur || atomic.CompareAndSwapInt64(&h.min, cur, oMin) {
+			break
+		}
+	}
+	for {
+		cur := atomic.LoadInt64(&h.max)
+		if oMax <= cur || atomic.CompareAndSwapInt64(&h.max, cur, oMax) {
+			break
+		}
+	}
+}
+
 // Bucket is one non-empty histogram bucket in a snapshot: N observations
 // with value <= LE (and greater than the previous bucket's LE).
 type Bucket struct {

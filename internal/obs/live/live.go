@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/report"
 )
 
 // Server is the live ops surface over one collector. Create with
@@ -212,8 +213,10 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = enc.Encode(v)
 }
 
-// handleVarz serves the collector's full snapshot.
+// handleVarz serves the collector's full snapshot, with the runtime
+// telemetry gauges refreshed at scrape time.
 func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
+	obs.CaptureRuntime(s.col)
 	w.Header().Set("Content-Type", "application/json")
 	_ = s.col.Snapshot().WriteJSON(w)
 }
@@ -276,6 +279,10 @@ type progresszPayload struct {
 		Dropped int64 `json:"dropped"`
 		Clients int64 `json:"sse_clients"`
 	} `json:"events"`
+	// Critical is the causal span analysis so far: critical path length,
+	// per-track (worker lane) utilization and top self-time spans.
+	// Omitted until the collector has recorded spans.
+	Critical *report.CriticalSection `json:"critical,omitempty"`
 }
 
 func (s *Server) handleProgressz(w http.ResponseWriter, r *http.Request) {
@@ -301,5 +308,6 @@ func (s *Server) handleProgressz(w http.ResponseWriter, r *http.Request) {
 	p.Events.Seq = s.col.EventSeq()
 	p.Events.Dropped = c["live.sse.dropped"]
 	p.Events.Clients = s.clients.Load()
+	p.Critical = report.Critical(snap, report.DefaultTopBlocking)
 	writeJSON(w, p)
 }

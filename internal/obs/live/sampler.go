@@ -76,6 +76,10 @@ func (s *Sampler) Interval() time.Duration { return s.interval }
 // the oldest sample when the ring is full. Safe for concurrent use with
 // Samples.
 func (s *Sampler) Tick(now time.Time) {
+	// Fold the Go runtime's own telemetry (GC pauses, heap, scheduler
+	// latency) into the collector first, so every sample window carries
+	// runtime.* gauge levels alongside the pipeline's counters.
+	obs.CaptureRuntime(s.col)
 	snap := s.col.Snapshot()
 	// Samples carry the aggregate movement only; the event/span tails
 	// are served by /events and /varz and would bloat the ring.

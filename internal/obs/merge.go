@@ -1,0 +1,112 @@
+package obs
+
+import "sort"
+
+// Merge folds child collectors (from NewChild) back into c,
+// deterministically: the same children produce byte-identical snapshots
+// no matter what order they are passed in, which is the contract a
+// sharded run loop needs to publish one stable result from N worker
+// lanes.
+//
+//   - Counters add; the interned handles callers hold stay valid.
+//   - Gauges merge by maximum — the pipeline's gauges are peaks
+//     (bdd.nodes.peak) or levels sampled at the same instant, and a
+//     merged lane must never lower an observed peak.
+//   - Histograms merge bucket-wise (counts and sums add, min/max extend).
+//   - Spans concatenate, then the whole log is re-sorted to lane-major
+//     id order (lane, then per-lane sequence) — a total order that does
+//     not depend on cross-lane timing, so two runs doing the same
+//     per-lane work merge identically. Overflow past the parent's span
+//     cap is counted in SpansDropped.
+//   - Events append to the parent's ring through the normal path —
+//     children sorted by (track, lane), each child's events in its own
+//     append order — so the parent's event sequence numbers keep
+//     advancing and an EventsSince reader resumes seamlessly across the
+//     merge. The children's own dropped counts carry over.
+//
+// Merge children once, after their lanes have quiesced (their goroutines
+// joined): merging a child while it still records races with it, and
+// merging the same child twice double-counts it. Nil children are
+// skipped; a nil receiver is a no-op.
+func (c *Collector) Merge(children ...*Collector) {
+	if c == nil {
+		return
+	}
+	live := make([]*Collector, 0, len(children))
+	for _, ch := range children {
+		if ch != nil {
+			live = append(live, ch)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool {
+		if live[i].track != live[j].track {
+			return live[i].track < live[j].track
+		}
+		return live[i].lane < live[j].lane
+	})
+
+	for _, ch := range live {
+		// Metrics: counters add, gauges max, histograms merge bucket-wise.
+		ch.mu.Lock()
+		counters := make(map[string]*Counter, len(ch.counters))
+		for n, ctr := range ch.counters {
+			counters[n] = ctr
+		}
+		gauges := make(map[string]*Gauge, len(ch.gauges))
+		for n, g := range ch.gauges {
+			gauges[n] = g
+		}
+		histograms := make(map[string]*Histogram, len(ch.histograms))
+		for n, h := range ch.histograms {
+			histograms[n] = h
+		}
+		spans := make([]SpanRecord, len(ch.spans))
+		copy(spans, ch.spans)
+		spansDrop := ch.spansDrop
+		ch.mu.Unlock()
+
+		for n, ctr := range counters {
+			if v := ctr.Load(); v != 0 {
+				c.Counter(n).Add(v)
+			}
+		}
+		for n, g := range gauges {
+			c.Gauge(n).SetMax(g.Load())
+		}
+		for n, h := range histograms {
+			c.Histogram(n).merge(h)
+		}
+
+		c.mu.Lock()
+		for _, sp := range spans {
+			if len(c.spans) < c.maxSpans {
+				c.spans = append(c.spans, sp)
+			} else {
+				c.spansDrop++
+			}
+		}
+		c.spansDrop += spansDrop
+		c.mu.Unlock()
+
+		// Events: replay the child's retained ring through the parent's
+		// append path so sequence numbering (EventsSince) stays coherent.
+		evs, dropped := ch.events.events()
+		for _, ev := range evs {
+			c.events.append(ev)
+		}
+		if dropped > 0 {
+			c.events.mu.Lock()
+			// Events the child already lost to its own ring are dropped
+			// from the parent's perspective too: account for them in the
+			// total so EventsDropped reflects the whole family.
+			c.events.total += dropped
+			c.events.mu.Unlock()
+		}
+	}
+
+	// Lane-major total order over the merged span log: deterministic for
+	// fixed per-lane work, independent of cross-lane goroutine timing.
+	c.mu.Lock()
+	sort.Slice(c.spans, func(i, j int) bool { return c.spans[i].ID < c.spans[j].ID })
+	c.mu.Unlock()
+}

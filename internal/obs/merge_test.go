@@ -1,0 +1,307 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStartSpanCtxNesting(t *testing.T) {
+	c := NewCollector()
+	root, ctx := c.StartSpanCtx(context.Background(), "root")
+	child, ctx2 := c.StartSpanCtx(ctx, "child")
+	grand, _ := c.StartSpanCtx(ctx2, "grand")
+	grand.End()
+	child.End()
+	root.End()
+
+	spans := c.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(spans))
+	}
+	by := map[string]SpanRecord{}
+	for _, sp := range spans {
+		by[sp.Name] = sp
+	}
+	if by["root"].ParentID != 0 {
+		t.Errorf("root parent = %d, want 0", by["root"].ParentID)
+	}
+	if by["child"].ParentID != by["root"].ID {
+		t.Errorf("child parent = %d, want root id %d", by["child"].ParentID, by["root"].ID)
+	}
+	if by["grand"].ParentID != by["child"].ID {
+		t.Errorf("grand parent = %d, want child id %d", by["grand"].ParentID, by["child"].ID)
+	}
+	for _, name := range []string{"root", "child", "grand"} {
+		if by[name].ID == 0 {
+			t.Errorf("%s has no id", name)
+		}
+	}
+}
+
+func TestStartSpanCtxForeignFamilyIsRoot(t *testing.T) {
+	a, b := NewCollector(), NewCollector()
+	sa, ctx := a.StartSpanCtx(context.Background(), "a")
+	sb, _ := b.StartSpanCtx(ctx, "b") // a's span id is not a valid parent in b's family
+	sb.End()
+	sa.End()
+	if got := b.Spans()[0].ParentID; got != 0 {
+		t.Errorf("cross-family parent = %d, want 0", got)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	c := NewCollector()
+	sp := c.StartSpan("s")
+	sp.End()
+	sp.End()
+	sp.End()
+	if got := len(c.Spans()); got != 1 {
+		t.Errorf("spans recorded = %d, want 1 (double End must not duplicate)", got)
+	}
+	if got := c.Counter("obs.span.double_end").Load(); got != 2 {
+		t.Errorf("obs.span.double_end = %d, want 2", got)
+	}
+}
+
+func TestNewChildLanesAndTracks(t *testing.T) {
+	parent := NewCollector()
+	w1 := parent.NewChild("w1")
+	w2 := parent.NewChild("w2")
+	if w1.Track() != "w1" || w2.Track() != "w2" {
+		t.Fatalf("tracks = %q, %q", w1.Track(), w2.Track())
+	}
+	p := parent.StartSpan("p")
+	s1 := w1.StartSpan("a")
+	s2 := w2.StartSpan("b")
+	p.End()
+	s1.End()
+	s2.End()
+	ids := map[int64]string{}
+	for _, c := range []*Collector{parent, w1, w2} {
+		for _, sp := range c.Spans() {
+			if prev, dup := ids[sp.ID]; dup {
+				t.Fatalf("span id %d used by both %q and %q", sp.ID, prev, sp.Name)
+			}
+			ids[sp.ID] = sp.Name
+		}
+	}
+	if got := w1.Spans()[0].Track; got != "w1" {
+		t.Errorf("child span track = %q, want w1", got)
+	}
+}
+
+// childWork records a fixed, deterministic set of metrics, spans and
+// events on a child lane.
+func childWork(c *Collector, n int) {
+	for i := 0; i < n; i++ {
+		c.Counter("work.items").Inc()
+		c.Histogram("work.size").Observe(int64(10 * (i + 1)))
+		sp := c.StartSpan(fmt.Sprintf("item-%d", i))
+		c.Event("item", fmt.Sprintf("%s/%d", c.Track(), i), Str("outcome", "done"))
+		sp.End()
+	}
+	c.Gauge("work.peak").SetMax(int64(n))
+}
+
+// normalizeTimes zeroes every wall-clock-derived field so two snapshots
+// of identical logical work compare byte-identically.
+func normalizeTimes(s *Snapshot) {
+	s.TakenAt = time.Time{}
+	s.OffsetNs = 0
+	for i := range s.Spans {
+		s.Spans[i].StartNs, s.Spans[i].DurNs = 0, 0
+	}
+	for i := range s.Events {
+		s.Events[i].TimeNs, s.Events[i].DurNs = 0, 0
+	}
+}
+
+func snapshotJSON(t *testing.T, s *Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestMergeDeterministicAcrossOrderAndRuns(t *testing.T) {
+	// One "run": four concurrent child lanes doing fixed per-lane work.
+	run := func() []*Collector {
+		root := NewCollector()
+		children := make([]*Collector, 4)
+		for i := range children {
+			children[i] = root.NewChild(fmt.Sprintf("w%d", i))
+		}
+		var wg sync.WaitGroup
+		for i, ch := range children {
+			wg.Add(1)
+			go func(ch *Collector, n int) {
+				defer wg.Done()
+				childWork(ch, n+1)
+			}(ch, i)
+		}
+		wg.Wait()
+		return children
+	}
+
+	children := run()
+	a, b := NewCollector(), NewCollector()
+	a.Merge(children...)
+	b.Merge(children[3], children[1], children[2], children[0])
+	sa, sb := a.Snapshot(), b.Snapshot()
+	normalizeTimes(sa)
+	normalizeTimes(sb)
+	ja, jb := snapshotJSON(t, sa), snapshotJSON(t, sb)
+	if !bytes.Equal(ja, jb) {
+		t.Errorf("merge is order-dependent:\n--- forward ---\n%s\n--- reversed ---\n%s", ja, jb)
+	}
+
+	// A second full run (same lane layout, same per-lane work) must merge
+	// to the same snapshot, up to wall-clock fields.
+	c := NewCollector()
+	c.Merge(run()...)
+	sc := c.Snapshot()
+	normalizeTimes(sc)
+	if jc := snapshotJSON(t, sc); !bytes.Equal(ja, jc) {
+		t.Errorf("merge differs across runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", ja, jc)
+	}
+}
+
+func TestMergeAccumulates(t *testing.T) {
+	root := NewCollector()
+	w := root.NewChild("w")
+	root.Counter("work.items").Add(2)
+	root.Gauge("work.peak").SetMax(3)
+	root.Histogram("work.size").Observe(5)
+	childWork(w, 3)
+	root.Merge(w)
+
+	snap := root.Snapshot()
+	if got := snap.Counters["work.items"]; got != 5 {
+		t.Errorf("work.items = %d, want 5", got)
+	}
+	if got := snap.Gauges["work.peak"]; got != 3 {
+		t.Errorf("work.peak = %d, want 3 (max of 3 and 3)", got)
+	}
+	h := snap.Histograms["work.size"]
+	if h.Count != 4 || h.Min != 5 || h.Max != 30 {
+		t.Errorf("work.size = count %d min %d max %d, want 4/5/30", h.Count, h.Min, h.Max)
+	}
+	if got := len(snap.Spans); got != 3 {
+		t.Errorf("merged spans = %d, want 3", got)
+	}
+	for _, sp := range snap.Spans {
+		if sp.Track != "w" {
+			t.Errorf("merged span %q track = %q, want w", sp.Name, sp.Track)
+		}
+	}
+	if got := len(snap.Events); got != 3 {
+		t.Errorf("merged events = %d, want 3", got)
+	}
+}
+
+func TestEventsSinceResumesAcrossMerge(t *testing.T) {
+	root := NewCollector()
+	root.Event("fault", "before-1")
+	root.Event("fault", "before-2")
+	evs, first := root.EventsSince(0)
+	if len(evs) != 2 || first != 0 {
+		t.Fatalf("pre-merge EventsSince(0) = %d events, first %d", len(evs), first)
+	}
+	cursor := first + int64(len(evs))
+
+	w := root.NewChild("w")
+	w.Event("fault", "lane-1", Str("outcome", "tested"))
+	w.Event("fault", "lane-2", Str("outcome", "tested"))
+	root.Merge(w)
+	root.Event("fault", "after-1")
+
+	evs, first = root.EventsSince(cursor)
+	if first != cursor {
+		t.Fatalf("resume gap: first = %d, want %d", first, cursor)
+	}
+	var names []string
+	for _, ev := range evs {
+		names = append(names, ev.Name)
+	}
+	want := []string{"lane-1", "lane-2", "after-1"}
+	if len(names) != len(want) {
+		t.Fatalf("resumed events = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("resumed event %d = %q, want %q", i, names[i], want[i])
+		}
+	}
+	if evs[0].Track != "w" {
+		t.Errorf("merged event track = %q, want w", evs[0].Track)
+	}
+}
+
+func TestNilCollectorNewAPIs(t *testing.T) {
+	var c *Collector
+
+	sp, ctx := c.StartSpanCtx(context.Background(), "s")
+	if ctx == nil {
+		t.Fatal("StartSpanCtx on nil collector must return the context unchanged")
+	}
+	sp.End()
+	sp.End() // double End on a nil span: still a no-op
+
+	if child := c.NewChild("w"); child != nil {
+		t.Errorf("NewChild on nil collector = %v, want nil", child)
+	}
+	c.Merge(nil, c) // no-op, must not panic
+	c.Merge(c.NewChild("x"))
+	if got := c.Track(); got != "" {
+		t.Errorf("Track on nil collector = %q", got)
+	}
+	CaptureRuntime(c) // no-op, must not panic
+
+	// A live parent must skip nil children.
+	p := NewCollector()
+	p.Counter("a").Inc()
+	p.Merge(nil, p.NewChild("w"), nil)
+	if got := p.Snapshot().Counters["a"]; got != 1 {
+		t.Errorf("counter after merging nils = %d, want 1", got)
+	}
+
+	// StartSpanCtx through a nil collector must preserve an outer span's
+	// linkage for instrumented callees downstream.
+	outerSpan, outerCtx := p.StartSpanCtx(context.Background(), "outer")
+	_, passthrough := c.StartSpanCtx(outerCtx, "ignored")
+	inner, _ := p.StartSpanCtx(passthrough, "inner")
+	inner.End()
+	outerSpan.End()
+	by := map[string]SpanRecord{}
+	for _, sp := range p.Spans() {
+		by[sp.Name] = sp
+	}
+	if by["inner"].ParentID != by["outer"].ID {
+		t.Errorf("nil-collector passthrough broke linkage: inner parent = %d, want %d",
+			by["inner"].ParentID, by["outer"].ID)
+	}
+}
+
+func TestCaptureRuntime(t *testing.T) {
+	c := NewCollector()
+	CaptureRuntime(c)
+	snap := c.Snapshot()
+	if got := snap.Gauges["runtime.goroutines"]; got < 1 {
+		t.Errorf("runtime.goroutines = %d, want >= 1", got)
+	}
+	if got := snap.Gauges["runtime.mem.total_bytes"]; got <= 0 {
+		t.Errorf("runtime.mem.total_bytes = %d, want > 0", got)
+	}
+	for _, g := range []string{"runtime.heap.objects_bytes", "runtime.gc.cycles",
+		"runtime.gc.pause_p99_ns", "runtime.sched.latency_p99_ns"} {
+		if _, ok := snap.Gauges[g]; !ok {
+			t.Errorf("gauge %s missing from snapshot", g)
+		}
+	}
+}

@@ -1,6 +1,19 @@
 // Package obs is the pipeline's zero-dependency instrumentation layer:
-// atomic counters, gauges, log-bucketed histograms and lightweight spans,
+// atomic counters, gauges, log-bucketed histograms and causal spans,
 // collected per Collector and serialised as a JSON Snapshot.
+//
+// Spans form a tree: StartSpanCtx threads the current span through a
+// context.Context so children record their parent's id, across function
+// and goroutine boundaries, and the Chrome trace export and the report
+// package's critical-path analysis recover the causal structure. Span
+// ids are lane-major (lane<<32 | seq) within a collector family, so a
+// root Collector plus children minted by NewChild — one per shard or
+// worker, created in a fixed order — assign globally unique,
+// run-deterministic ids; Merge later folds the children back into the
+// root deterministically (sorted by track then lane; counters add,
+// gauges max, histograms merge bucket-wise, span and event logs splice
+// in id order). CaptureRuntime bridges runtime/metrics into gauges
+// under the runtime.* prefix.
 //
 // Design constraints, in order:
 //
@@ -97,6 +110,17 @@ type Collector struct {
 	maxSpans int
 	events   *EventLog
 
+	// Lane identity for causal tracing across a collector family: track
+	// is the human label ("" on a root collector), lane the numeric lane
+	// baked into span ids, lanes the family-wide lane allocator shared
+	// by every collector descended from the same root (its pointer also
+	// serves as the family identity for StartSpanCtx parent linkage),
+	// and spanSeq the per-lane span sequence.
+	track   string
+	lane    int64
+	lanes   *atomic.Int64
+	spanSeq atomic.Int64
+
 	mu         sync.Mutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
@@ -133,12 +157,16 @@ func WithMaxEvents(n int) CollectorOption {
 	}
 }
 
-// NewCollector returns an empty, enabled collector.
+// NewCollector returns an empty, enabled collector. It is the root of a
+// new collector family: child collectors split off with NewChild share
+// its epoch and id space, so their spans and events merge back into one
+// causally consistent timeline.
 func NewCollector(opts ...CollectorOption) *Collector {
 	c := &Collector{
 		epoch:      time.Now(),
 		maxSpans:   DefaultMaxSpans,
 		events:     newEventLog(DefaultMaxEvents),
+		lanes:      new(atomic.Int64),
 		counters:   map[string]*Counter{},
 		gauges:     map[string]*Gauge{},
 		histograms: map[string]*Histogram{},
@@ -147,6 +175,44 @@ func NewCollector(opts ...CollectorOption) *Collector {
 		o(c)
 	}
 	return c
+}
+
+// NewChild returns a collector on its own lane of c's family: it shares
+// the parent's epoch (so offsets stay comparable) and span-id space
+// (lane-major, so ids never collide across the family), but owns its
+// metrics, span log and event ring outright — children on separate
+// goroutines never contend on the parent's locks. track labels the lane
+// (worker/shard name); it is stamped on every span and event the child
+// records. Fold a child's state back into the parent with Merge.
+//
+// Lane numbers are assigned in NewChild call order, so creating the
+// children deterministically (before fanning work out) keeps span ids —
+// and therefore the merged span order — reproducible across runs.
+// Returns nil (a valid no-op collector) on a nil parent.
+func (c *Collector) NewChild(track string) *Collector {
+	if c == nil {
+		return nil
+	}
+	return &Collector{
+		epoch:      c.epoch,
+		maxSpans:   c.maxSpans,
+		events:     newEventLog(c.events.capacity()),
+		track:      track,
+		lane:       c.lanes.Add(1),
+		lanes:      c.lanes,
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Track returns the collector's lane label ("" on a root collector or a
+// nil collector).
+func (c *Collector) Track() string {
+	if c == nil {
+		return ""
+	}
+	return c.track
 }
 
 // Default is the process-wide collector the pipeline reports to unless a

@@ -114,6 +114,7 @@ type Report struct {
 	Faults      *FaultSection      `json:"faults,omitempty"`
 	Elements    *ElementSection    `json:"elements,omitempty"`
 	Comparators *ComparatorSection `json:"comparators,omitempty"`
+	Critical    *CriticalSection   `json:"critical,omitempty"`
 	Metrics     Headline           `json:"metrics"`
 }
 
@@ -121,7 +122,8 @@ type Report struct {
 type Option func(*builder)
 
 type builder struct {
-	topN int
+	topN     int
+	blocking int
 }
 
 // WithTopSlowest sets how many slowest faults the report retains.
@@ -133,10 +135,20 @@ func WithTopSlowest(n int) Option {
 	}
 }
 
+// WithTopBlocking sets how many top self-time spans the critical-path
+// section retains.
+func WithTopBlocking(n int) Option {
+	return func(b *builder) {
+		if n >= 0 {
+			b.blocking = n
+		}
+	}
+}
+
 // Build distils a snapshot into a Report. Sections whose events are
 // absent from the snapshot are omitted.
 func Build(s *obs.Snapshot, opts ...Option) *Report {
-	b := builder{topN: DefaultTopSlowest}
+	b := builder{topN: DefaultTopSlowest, blocking: DefaultTopBlocking}
 	for _, o := range opts {
 		o(&b)
 	}
@@ -158,6 +170,7 @@ func Build(s *obs.Snapshot, opts ...Option) *Report {
 	r.Faults = buildFaults(s, b.topN)
 	r.Elements = buildElements(s)
 	r.Comparators = buildComparators(s)
+	r.Critical = buildCritical(s, b.blocking)
 	return r
 }
 
@@ -382,6 +395,35 @@ func (r *Report) WriteText(w io.Writer) error {
 		p("\nconversion census: %d comparators probed, blocked low=%v high=%v\n",
 			c.Probed, c.BlockedLow, c.BlockedHigh)
 	}
+	if c := r.Critical; c != nil {
+		p("\ncritical path: %s of %s wall (%.1f%%)\n",
+			fmtNs(float64(c.PathNs)), fmtNs(float64(c.WallNs)), pct(c.PathNs, c.WallNs))
+		for _, step := range c.Path {
+			lane := step.Track
+			if lane == "" {
+				lane = "main"
+			}
+			p("    %-28s %-12s %9s\n", step.Name, lane, fmtNs(float64(step.DurNs)))
+		}
+		if len(c.Tracks) > 0 {
+			p("  track utilization:\n")
+			for _, u := range c.Tracks {
+				lane := u.Track
+				if lane == "" {
+					lane = "main"
+				}
+				p("    %-12s %5.1f%% busy (%s over %d spans)\n",
+					lane, u.Percent, fmtNs(float64(u.BusyNs)), u.Spans)
+			}
+		}
+		if len(c.Blocking) > 0 {
+			p("  top blocking spans (self time):\n")
+			for _, b := range c.Blocking {
+				p("    %-28s %9s over %d spans (max %s)\n",
+					b.Name, fmtNs(float64(b.SelfNs)), b.Count, fmtNs(float64(b.MaxNs)))
+			}
+		}
+	}
 	m := r.Metrics
 	p("\nengine: ITE hit %.1f%%, unique hit %.1f%%, peak nodes %d, nodes alloc %d, MNA solves %d\n",
 		100*m.ITEHitRate, 100*m.UniqueHitRate, m.PeakNodes, m.NodesAlloc, m.MNASolves)
@@ -407,4 +449,11 @@ func sortedKeys(m map[string]int) []string {
 
 func fmtNs(ns float64) string {
 	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+func pct(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
 }

@@ -45,7 +45,8 @@ func StepResponseCtx(ctx context.Context, c *mna.Circuit, out string, window flo
 	if window <= 0 {
 		return nil, fmt.Errorf("waveform: window must be positive, got %g", window)
 	}
-	defer obs.Default.StartSpan("waveform.step_response").End()
+	span, ctx := obs.Default.StartSpanCtx(ctx, "waveform.step_response")
+	defer span.End()
 	cStepSolves.Inc()
 	cStepSamples.Add(int64(n/2 + 1))
 	// Sample H at f_k = k/window for k = 0..n/2, then mirror with
