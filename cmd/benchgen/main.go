@@ -27,10 +27,11 @@ func main() {
 	obsOut := flag.String("obs", "", "run instrumented ATPG and write bench results + obs stats (e.g. cache hit rate, peak nodes, vectors/sec) to this JSON file, or - for stdout")
 	commit := flag.String("commit", "", "commit SHA stamped into the -obs report (CI passes the build SHA)")
 	traceChrome := flag.String("trace-chrome", "", "with -obs: also write a Chrome trace of the ATPG runs, one tid lane per circuit/configuration, to this file")
+	workers := flag.Int("workers", 1, "with -obs: run each ATPG configuration on this many worker shards (1 = sequential); stamped into the report")
 	flag.Parse()
 
 	if *obsOut != "" {
-		if err := emitObs(*obsOut, *name, *commit, *traceChrome); err != nil {
+		if err := emitObs(*obsOut, *name, *commit, *traceChrome, *workers); err != nil {
 			fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
 			os.Exit(1)
 		}

@@ -45,6 +45,10 @@ func benchRun(res *atpg.Result) *benchfmt.Run {
 			r.FaultP50Ns = h.Quantile(0.5)
 			r.FaultP99Ns = h.Quantile(0.99)
 		}
+		// Sharded-runtime figures; absent (zero) on sequential runs.
+		r.ShardWorkers = s.Gauges["atpg.shard.workers"]
+		r.ShardVectorsExchanged = s.Counters["atpg.shard.vectors_exchanged"]
+		r.ShardAborts = s.Counters["atpg.shard.aborts"]
 	}
 	return r
 }
@@ -54,8 +58,13 @@ func benchRun(res *atpg.Result) *benchfmt.Run {
 // and writes the report as JSON in the benchfmt schema. With traceChrome
 // set, the per-configuration collectors are child lanes of one root
 // collector instead, and the merged span log is additionally written as a
-// Chrome trace — each circuit/configuration on its own tid lane.
-func emitObs(path, only, commit, traceChrome string) error {
+// Chrome trace — each circuit/configuration on its own tid lane. With
+// workers > 1 each configuration runs on the sharded atpg.RunParallel
+// runtime; the per-shard lanes nest under the configuration's lane
+// ("c880/free/shard0") and the shard figures land in the report, so a
+// workers=1 baseline diffed against a workers=N report is the speedup
+// measurement.
+func emitObs(path, only, commit, traceChrome string, workers int) error {
 	names := obsCircuits
 	if only != "" {
 		names = []string{only}
@@ -64,6 +73,7 @@ func emitObs(path, only, commit, traceChrome string) error {
 		SchemaVersion: benchfmt.CurrentSchemaVersion,
 		GeneratedAt:   time.Now(),
 		Commit:        commit,
+		Workers:       workers,
 	}
 	var traceRoot *obs.Collector
 	var lanes []*obs.Collector
@@ -91,19 +101,28 @@ func emitObs(path, only, commit, traceChrome string) error {
 		fs := faults.Collapse(c)
 		rec := benchfmt.Circuit{Circuit: name, Faults: len(fs)}
 
-		gFree, err := atpg.New(c, atpg.WithCollector(newCol(name+"/free")))
+		resFree, err := atpg.RunParallel(c, fs,
+			atpg.WithWorkers(workers),
+			atpg.WithShardOptions(atpg.WithCollector(newCol(name+"/free"))))
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		rec.Free = benchRun(gFree.Run(fs))
+		rec.Free = benchRun(resFree)
 
-		gCons, err := atpg.New(c, atpg.WithCollector(newCol(name+"/constrained")))
+		flash := adc.NewFlash(experiments.ComparatorCount, 0, float64(experiments.ComparatorCount+1))
+		binding := experiments.BoundInputs(c, name)
+		resCons, err := atpg.RunParallel(c, fs,
+			atpg.WithWorkers(workers),
+			atpg.WithShardOptions(atpg.WithCollector(newCol(name+"/constrained"))),
+			atpg.WithShardSetup(func(g *atpg.Generator) error {
+				// The constraint must live on each shard's own manager.
+				g.SetConstraint(flash.ConstraintBDD(g.Manager(), binding))
+				return nil
+			}))
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		flash := adc.NewFlash(experiments.ComparatorCount, 0, float64(experiments.ComparatorCount+1))
-		gCons.SetConstraint(flash.ConstraintBDD(gCons.Manager(), experiments.BoundInputs(c, name)))
-		rec.Constrained = benchRun(gCons.Run(fs))
+		rec.Constrained = benchRun(resCons)
 
 		report.Circuits = append(report.Circuits, rec)
 		fmt.Fprintf(os.Stderr, "benchgen: %s — free %d vec in %v (ITE hit %.1f%%), constrained %d vec in %v (ITE hit %.1f%%)\n",

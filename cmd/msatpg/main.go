@@ -54,6 +54,7 @@ import (
 	"net"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/adc"
@@ -86,6 +87,7 @@ func (e usageError) Unwrap() error { return e.err }
 type options struct {
 	circuit, digital string
 	verbose, program bool
+	workers          int
 
 	checkpoint   string
 	runTimeout   time.Duration
@@ -113,6 +115,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&opt.digital, "digital", "", "digital block: fig3 (default for bandpass) | c432 | c499 | c880 | c1355 | c1908")
 	fs.BoolVar(&opt.verbose, "v", false, "print per-element details")
 	fs.BoolVar(&opt.program, "program", false, "compile and print the complete test program instead of the summary")
+	fs.IntVar(&opt.workers, "workers", 1, "worker shards for the analog element loop and the digital ATPG (1 = sequential)")
 	fs.StringVar(&opt.checkpoint, "checkpoint", "", "record completed faults to this file and resume from it on restart")
 	fs.DurationVar(&opt.runTimeout, "timeout", 0, "deadline for the whole run (0 = none)")
 	fs.DurationVar(&opt.faultTimeout, "fault-timeout", 0, "deadline per fault / per analog element (0 = none)")
@@ -309,44 +312,66 @@ func chaosInjector(opt options) (*chaos.Injector, error) {
 	return chaos.New(opt.chaosSeed, opt.chaosProb, copts...), nil
 }
 
-// run executes the three-phase flow. ctx is the process base context
-// (carrying the chaos injector, when one is configured); lv, when non-nil,
-// is the live ops server whose /healthz and /progressz report the phase.
-func run(ctx context.Context, opt options, stdout io.Writer, lv *live.Server) (degraded bool, err error) {
-	var (
-		mx       *core.Mixed
-		elements []string
-		params   []analog.Parameter
-	)
-	circuit, digital := opt.circuit, opt.digital
+// resolveVehicle validates the -circuit/-digital pair and fills in the
+// per-circuit default digital block.
+func resolveVehicle(circuit, digital string) (string, string, error) {
 	switch circuit {
 	case "bandpass":
 		if digital == "" {
 			digital = "fig3"
 		}
 		if digital != "fig3" {
-			return false, usageError{fmt.Errorf("the band-pass vehicle pairs with -digital fig3")}
+			return "", "", usageError{fmt.Errorf("the band-pass vehicle pairs with -digital fig3")}
 		}
-		mx, err = core.NewMixed(circuits.BandPass2(), circuits.BandPassOutput,
-			adc.NewFlash(2, 0, 3), iscas.Fig3(), iscas.Fig3ConstrainedLines())
-		elements = circuits.BandPassElements
-		params = circuits.BandPassParams()
 	case "chebyshev":
 		if digital == "" {
 			digital = "c880"
 		}
-		dig, derr := iscas.Benchmark(digital)
-		if derr != nil {
-			return false, usageError{derr}
+		if _, err := iscas.Benchmark(digital); err != nil {
+			return "", "", usageError{err}
 		}
-		mx, err = core.NewMixed(circuits.Chebyshev5(), circuits.ChebyshevOutput,
+	default:
+		return "", "", usageError{fmt.Errorf("unknown -circuit %q", circuit)}
+	}
+	return circuit, digital, nil
+}
+
+// buildVehicle constructs one independent copy of the resolved vehicle.
+// The parallel paths call it once per worker: a Mixed's BDD managers and
+// MNA solver state are not goroutine-safe, so workers own copies instead
+// of sharing one behind a lock. Construction is deterministic, so every
+// copy behaves identically.
+func buildVehicle(circuit, digital string) (*core.Mixed, []string, []analog.Parameter, error) {
+	switch circuit {
+	case "bandpass":
+		mx, err := core.NewMixed(circuits.BandPass2(), circuits.BandPassOutput,
+			adc.NewFlash(2, 0, 3), iscas.Fig3(), iscas.Fig3ConstrainedLines())
+		return mx, circuits.BandPassElements, circuits.BandPassParams(), err
+	case "chebyshev":
+		dig, err := iscas.Benchmark(digital)
+		if err != nil {
+			return nil, nil, nil, usageError{err}
+		}
+		mx, err := core.NewMixed(circuits.Chebyshev5(), circuits.ChebyshevOutput,
 			adc.NewFlash(experiments.ComparatorCount, 0, float64(experiments.ComparatorCount+1)),
 			dig, experiments.BoundInputs(dig, digital))
-		elements = circuits.ChebyshevElements
-		params = circuits.ChebyshevParams()
-	default:
-		return false, usageError{fmt.Errorf("unknown -circuit %q", circuit)}
+		return mx, circuits.ChebyshevElements, circuits.ChebyshevParams(), err
 	}
+	return nil, nil, nil, usageError{fmt.Errorf("unknown -circuit %q", circuit)}
+}
+
+// run executes the three-phase flow. ctx is the process base context
+// (carrying the chaos injector, when one is configured); lv, when non-nil,
+// is the live ops server whose /healthz and /progressz report the phase.
+func run(ctx context.Context, opt options, stdout io.Writer, lv *live.Server) (degraded bool, err error) {
+	circuit, digital, err := resolveVehicle(opt.circuit, opt.digital)
+	if err != nil {
+		return false, err
+	}
+	if opt.workers < 1 {
+		return false, usageError{fmt.Errorf("-workers must be at least 1, got %d", opt.workers)}
+	}
+	mx, elements, params, err := buildVehicle(circuit, digital)
 	if err != nil {
 		return false, err
 	}
@@ -379,11 +404,18 @@ func run(ctx context.Context, opt options, stdout io.Writer, lv *live.Server) (d
 		len(mx.Digital.Inputs()), len(mx.Binding), len(mx.FreeInputs()))
 
 	if opt.program {
-		matrix, err := analog.BuildMatrix(mx.Analog, elements, params, analog.DefaultEDOptions())
-		if err != nil {
-			return false, err
+		factory := func() (*core.Mixed, *analog.Matrix, error) {
+			fmx, felems, fparams, ferr := buildVehicle(circuit, digital)
+			if ferr != nil {
+				return nil, nil, ferr
+			}
+			matrix, merr := analog.BuildMatrix(fmx.Analog, felems, fparams, analog.DefaultEDOptions())
+			if merr != nil {
+				return nil, nil, merr
+			}
+			return fmx, matrix, nil
 		}
-		prog, err := core.CompileProgramCtx(runCtx, mx, matrix, elements)
+		prog, err := core.CompileProgramParallel(runCtx, opt.workers, factory, elements)
 		if err != nil {
 			return false, err
 		}
@@ -411,39 +443,116 @@ func run(ctx context.Context, opt options, stdout io.Writer, lv *live.Server) (d
 		if prop, err = core.NewPropagator(mx); err != nil {
 			return err
 		}
-		testable := 0
-		for _, elem := range elements {
-			elem := elem
-			var verdict core.ElementTest
+
+		// One result slot per element; with -workers > 1 the slots are
+		// filled by a pool of independent vehicle copies (the solver and
+		// BDD state inside a Mixed are not goroutine-safe) and printed
+		// below in element order, so stdout is identical either way.
+		type vehicle struct {
+			mx     *core.Mixed
+			matrix *analog.Matrix
+			prop   *core.Propagator
+		}
+		type elemResult struct {
+			verdict core.ElementTest
+			out     guard.Outcome
+		}
+		testElem := func(v *vehicle, i int) elemResult {
+			elem := elements[i]
+			var r elemResult
 			itemCtx, cancelItem := limits.WithItemContext(phaseCtx)
-			out := guard.Do(itemCtx, obs.Default, "element:"+elem, func(ctx context.Context) error {
-				v, terr := mx.TestAnalogElementCtx(ctx, prop, matrix, elem, core.UpperBound)
+			r.out = guard.Do(itemCtx, obs.Default, "element:"+elem, func(ctx context.Context) error {
+				verdict, terr := v.mx.TestAnalogElementCtx(ctx, v.prop, v.matrix, elem, core.UpperBound)
 				if terr != nil {
 					return terr
 				}
-				verdict = v
+				r.verdict = verdict
 				return nil
 			})
 			cancelItem()
-			switch out.Class {
+			return r
+		}
+		results := make([]elemResult, len(elements))
+		if workers := opt.workers; workers > 1 {
+			if workers > len(elements) {
+				workers = len(elements)
+			}
+			vs := make([]*vehicle, workers)
+			vs[0] = &vehicle{mx: mx, matrix: matrix, prop: prop}
+			buildErrs := make([]error, workers)
+			var wg sync.WaitGroup
+			for w := 1; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					wmx, welems, wparams, werr := buildVehicle(circuit, digital)
+					if werr != nil {
+						buildErrs[w] = werr
+						return
+					}
+					wmatrix, werr := analog.BuildMatrix(wmx.Analog, welems, wparams, analog.DefaultEDOptions())
+					if werr != nil {
+						buildErrs[w] = werr
+						return
+					}
+					wprop, werr := core.NewPropagator(wmx)
+					if werr != nil {
+						buildErrs[w] = werr
+						return
+					}
+					vs[w] = &vehicle{mx: wmx, matrix: wmatrix, prop: wprop}
+				}(w)
+			}
+			wg.Wait()
+			for _, berr := range buildErrs {
+				if berr != nil {
+					return berr
+				}
+			}
+			jobs := make(chan int)
+			for _, v := range vs {
+				wg.Add(1)
+				go func(v *vehicle) {
+					defer wg.Done()
+					for i := range jobs {
+						results[i] = testElem(v, i)
+					}
+				}(v)
+			}
+			for i := range elements {
+				jobs <- i
+			}
+			close(jobs)
+			wg.Wait()
+		} else {
+			v := &vehicle{mx: mx, matrix: matrix, prop: prop}
+			for i := range elements {
+				results[i] = testElem(v, i)
+			}
+		}
+
+		testable := 0
+		for i, elem := range elements {
+			r := results[i]
+			switch r.out.Class {
 			case guard.TimedOut:
 				elemTimedOut++
-				fmt.Fprintf(stdout, "  %-4s TIMED OUT (%s)\n", elem, out.Reason)
+				fmt.Fprintf(stdout, "  %-4s TIMED OUT (%s)\n", elem, r.out.Reason)
 				continue
 			case guard.Aborted, guard.Canceled:
 				elemAborted++
-				fmt.Fprintf(stdout, "  %-4s ABORTED (%s)\n", elem, out.Reason)
+				fmt.Fprintf(stdout, "  %-4s ABORTED (%s)\n", elem, r.out.Reason)
 				continue
 			}
-			if verdict.Testable {
+			if r.verdict.Testable {
 				testable++
 				if opt.verbose {
 					fmt.Fprintf(stdout, "  %-4s ED=%-7s via %-5s %v → comparator %d → outputs %v, free inputs %v\n",
-						elem, fmtPct(verdict.ED), verdict.Param, verdict.Act.Stim,
-						verdict.Act.Target, verdict.Prop.Outputs, verdict.Prop.Vector)
+						elem, fmtPct(r.verdict.ED), r.verdict.Param, r.verdict.Act.Stim,
+						r.verdict.Act.Target, r.verdict.Prop.Outputs, r.verdict.Prop.Vector)
 				}
 			} else if opt.verbose {
-				fmt.Fprintf(stdout, "  %-4s NOT TESTABLE (%s)\n", elem, verdict.Reason)
+				fmt.Fprintf(stdout, "  %-4s NOT TESTABLE (%s)\n", elem, r.verdict.Reason)
 			}
 		}
 		fmt.Fprintf(stdout, "  %d/%d elements testable through the mixed circuit", testable, len(elements))
@@ -485,18 +594,26 @@ func run(ctx context.Context, opt options, stdout io.Writer, lv *live.Server) (d
 		span, phaseCtx := obs.Default.StartSpanCtx(runCtx, "phase.digital")
 		defer span.End()
 		fmt.Fprintln(stdout, "\n-- digital stuck-at ATPG under the conversion constraints --")
-		gen, err := atpg.New(mx.Digital)
-		if err != nil {
-			return err
-		}
-		fc := mx.Conv.ConstraintBDD(gen.Manager(), mx.Binding)
-		gen.SetConstraint(fc)
 		fs := faults.Collapse(mx.Digital)
-		runOpts := []atpg.RunOption{atpg.WithContext(phaseCtx), atpg.WithLimits(limits)}
+		runOpts := []atpg.RunOption{
+			atpg.WithContext(phaseCtx),
+			atpg.WithLimits(limits),
+			atpg.WithWorkers(opt.workers),
+			atpg.WithShardSetup(func(g *atpg.Generator) error {
+				g.SetConstraint(mx.Conv.ConstraintBDD(g.Manager(), mx.Binding))
+				return nil
+			}),
+		}
 		if ckpt != nil {
 			runOpts = append(runOpts, atpg.WithCheckpoint(ckpt))
 		}
-		res = gen.Run(fs, runOpts...)
+		res, err = atpg.RunParallel(mx.Digital, fs, runOpts...)
+		if err != nil {
+			return err
+		}
+		if opt.workers > 1 {
+			fmt.Fprintf(stdout, "  sharded across %d workers\n", opt.workers)
+		}
 		if res.Resumed > 0 {
 			fmt.Fprintf(stdout, "  resumed %d faults from checkpoint %s\n", res.Resumed, opt.checkpoint)
 		}

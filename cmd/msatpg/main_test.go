@@ -143,6 +143,66 @@ func TestChaosPanicsPlusBudgetExhaustion(t *testing.T) {
 	}
 }
 
+// TestWorkersMatchesSequential is the acceptance path for the sharded
+// runtime through the CLI: the same vehicle run with -workers 1 and
+// -workers 4 exits 0 both times and reports identical fault
+// classification (detected/untestable counts), and the parallel run's
+// stdout names the shard count.
+func TestWorkersMatchesSequential(t *testing.T) {
+	summary := regexp.MustCompile(`(\d+) collapsed faults: (\d+) detected, (\d+) untestable`)
+	runOnce := func(workers string) (string, []string) {
+		t.Helper()
+		var out, errw bytes.Buffer
+		code := realMain([]string{"-workers", workers}, &out, &errw)
+		if code != 0 {
+			t.Fatalf("-workers %s: exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s",
+				workers, code, out.String(), errw.String())
+		}
+		m := summary.FindStringSubmatch(out.String())
+		if m == nil {
+			t.Fatalf("-workers %s: no fault summary in stdout:\n%s", workers, out.String())
+		}
+		return out.String(), m[1:]
+	}
+	_, seq := runOnce("1")
+	parOut, par := runOnce("4")
+	for i, name := range []string{"total", "detected", "untestable"} {
+		if seq[i] != par[i] {
+			t.Errorf("%s faults: sequential %s, workers=4 %s", name, seq[i], par[i])
+		}
+	}
+	if !strings.Contains(parOut, "sharded across 4 workers") {
+		t.Errorf("parallel run does not report its shard count:\n%s", parOut)
+	}
+	// -program compiles the same analog/digital sections either way.
+	var progSeq, progPar, errw bytes.Buffer
+	if code := realMain([]string{"-program"}, &progSeq, &errw); code != 0 {
+		t.Fatalf("-program: exit %d\n%s", code, errw.String())
+	}
+	if code := realMain([]string{"-program", "-workers", "3"}, &progPar, &errw); code != 0 {
+		t.Fatalf("-program -workers 3: exit %d\n%s", code, errw.String())
+	}
+	stripTimes := func(s string) string {
+		return regexp.MustCompile(`generated in [^)]+`).ReplaceAllString(s, "generated in X")
+	}
+	seqPlan, parPlan := stripTimes(progSeq.String()), stripTimes(progPar.String())
+	// The analog and conversion sections are byte-identical; the digital
+	// vector set may legitimately differ between worker counts, so
+	// compare the plans only up to the digital section header.
+	cut := strings.Index(seqPlan, "[3] digital")
+	pcut := strings.Index(parPlan, "[3] digital")
+	if cut < 0 || pcut < 0 {
+		t.Fatalf("plans missing digital section:\n%s\n%s", seqPlan, parPlan)
+	}
+	if seqPlan[:cut] != parPlan[:pcut] {
+		t.Errorf("-program analog/conversion sections diverge between worker counts:\n--- workers=1\n%s\n--- workers=3\n%s",
+			seqPlan[:cut], parPlan[:pcut])
+	}
+	if code := realMain([]string{"-workers", "0"}, &progSeq, &errw); code != 2 {
+		t.Errorf("-workers 0: exit %d, want 2", code)
+	}
+}
+
 func TestUsageErrorsExit2(t *testing.T) {
 	cases := [][]string{
 		{"-circuit", "nope"},

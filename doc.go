@@ -43,6 +43,22 @@
 // -chaos-* flags and reports degradation through its exit code (0 all
 // classified, 1 degraded, 2 usage error).
 //
+// The digital run loop scales out through atpg.RunParallel (msatpg
+// -workers, benchgen -workers): the collapsed fault list is partitioned
+// across worker shards, each owning its own Generator and BDD manager —
+// the unique/computed tables are not goroutine-safe, so the runtime
+// partitions state instead of locking it — and its own collector lane.
+// Discovered vectors cross the shard boundary in deterministic batches
+// for cross-shard fault dropping, fault simulation of each batch fans
+// out per shard, and results merge back in stable fault-index order, so
+// coverage and classification are identical for every worker count and
+// the merged trace is byte-stable for a fixed one. A worker death
+// (panic, chaos at atpg.shard, deadline) degrades its pending faults to
+// typed aborts instead of hanging the run, and shard-tagged checkpoint
+// records re-partition on resume under any -workers value.
+// core.CompileProgramParallel applies the same pool to the analog
+// element×bound tests with one vehicle copy per worker.
+//
 // The project's cross-cutting contracts (contexts thread through Ctx
 // variants, spans end on all paths, mna construction errors are
 // consulted, chaos sites come from the internal/guard/chaos registry,

@@ -11,6 +11,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/guard"
 	"repro/internal/guard/chaos"
+	"repro/internal/logic"
 	"repro/internal/obs"
 )
 
@@ -62,6 +63,11 @@ type runConfig struct {
 	ctx           context.Context
 	limits        guard.Limits
 	checkpoint    *guard.Checkpoint
+
+	// Sharded-runtime knobs, honoured by RunParallel only (see shard.go).
+	workers    int
+	shardSetup func(*Generator) error
+	shardOpts  []Option
 }
 
 // WithRandomPhase prepends n random vectors (legal only when the circuit
@@ -148,39 +154,7 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 	// any work. Tested faults bring their witness vector back into the
 	// vector set; aborted/timed-out faults were never recorded, so they
 	// are re-attempted below.
-	if cfg.checkpoint != nil && cfg.checkpoint.Len() > 0 {
-		for i := range fs {
-			name := fs[i].Name(g.c)
-			rec, ok := cfg.checkpoint.Lookup(name)
-			if !ok {
-				continue
-			}
-			switch rec.Outcome {
-			case "tested":
-				v, okv := parseVector(rec.Vector)
-				if !okv {
-					continue // corrupt record: recompute
-				}
-				state[i] = 1
-				res.Detected++
-				res.Vectors = append(res.Vectors, v)
-			case "dropped":
-				state[i] = 1
-				res.Detected++
-			case "random":
-				state[i] = 1
-				res.Detected++
-				res.RandomHits++
-			default: // untestable reasons: no-difference, constrained-out, unknown
-				state[i] = 2
-				res.Untestable = append(res.Untestable, fs[i])
-			}
-			res.Resumed++
-			g.col.Counter("atpg.faults.resumed").Inc()
-			g.col.Event("fault", name,
-				obs.Str("outcome", "resumed"), obs.Str("was", rec.Outcome))
-		}
-	}
+	restoreFromCheckpoint(cfg.checkpoint, g.c, fs, state, res, g.col)
 	pendingIdx := func() []int {
 		var idx []int
 		for i, st := range state {
@@ -233,6 +207,10 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 		// CPU samples taken inside this block carry phase=random, so a
 		// profile scraped from the live ops server splits time between
 		// the random and deterministic phases.
+		// res.RandomHits may already count hits restored from the
+		// checkpoint; only this phase's own hits go on the counter, or a
+		// resumed run would double-count every restored "random" record.
+		restoredHits := res.RandomHits
 		pprof.Do(randCtx, pprof.Labels("phase", "random"), func(ctx context.Context) {
 			for k := 0; k < cfg.randomVectors; k++ {
 				if ctx.Err() != nil {
@@ -256,7 +234,7 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 				}
 			}
 		})
-		g.col.Counter("atpg.random.hits").Add(int64(res.RandomHits))
+		g.col.Counter("atpg.random.hits").Add(int64(res.RandomHits - restoredHits))
 		randSpan.End()
 	}
 
@@ -265,104 +243,56 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 	// tested) the witness vector — the per-work-item record the run
 	// report and the Chrome trace are built from.
 	detSpan, detCtx := g.col.StartSpanCtx(runCtx, "atpg.deterministic_phase")
-	policy := guard.RetryPolicy{
-		MaxRetries: cfg.limits.MaxRetries,
-		Backoff:    cfg.limits.RetryBackoff,
-	}
 	for i := range fs {
 		if state[i] != 0 {
 			continue
 		}
-		var v faults.Vector
-		var ok bool
-		var productNodes int
 		name := fs[i].Name(g.c)
-		faultStart := time.Now()
-		// Each fault runs inside the guard harness: panic isolation,
-		// per-fault deadline, BDD node budget (doubled on each retry so a
-		// budget-tripped fault gets a realistic second chance), and the
-		// "atpg.fault" chaos site for fault-injection tests. The fault's
-		// span is a child of the deterministic phase, so the critical-path
-		// walk descends from the phase straight to the slowest fault.
-		faultSpan, faultCtx := g.col.StartSpanCtx(detCtx, "atpg.fault")
-		itemCtx, cancelItem := cfg.limits.WithItemContext(faultCtx)
-		var out guard.Outcome
-		// The fault's name labels every CPU sample under its solve, so
-		// `go tool pprof -tags` attributes profile time to individual
-		// faults (and phase=deterministic separates it from the random
-		// phase and the analog flow).
-		pprof.Do(itemCtx, pprof.Labels("phase", "deterministic", "fault", name), func(itemCtx context.Context) {
-			out = guard.Run(itemCtx, g.col, name, policy, func(ctx context.Context, attempt int) error {
-				if err := chaos.Step(ctx, chaos.SiteATPGFault, name); err != nil {
-					return err
-				}
-				g.m.BindContext(ctx)
-				if cfg.limits.BDDNodes > 0 {
-					g.m.SetNodeBudget(cfg.limits.BDDNodes << attempt)
-				}
-				return bdd.Guard(func() error {
-					s := g.TestFunction(fs[i])
-					if g.col != nil {
-						productNodes = g.m.NodeCount(s)
-					}
-					var assign map[string]bool
-					if assign, ok = g.m.SatOneConstrained(s, g.inputNames); ok {
-						v = faults.VectorFromAssignment(g.c, assign)
-					}
-					return nil
-				})
-			})
-		})
-		cancelItem()
-		g.m.BindContext(nil)
-		if cfg.limits.BDDNodes > 0 {
-			g.m.SetNodeBudget(0)
-		}
-		res.Retries += out.Retries()
-		faultSpan.End()
-		latency.Observe(time.Since(faultStart).Nanoseconds())
-		switch out.Class {
+		att := g.solveFault(detCtx, cfg.limits, fs[i])
+		res.Retries += att.out.Retries()
+		latency.Observe(att.latency.Nanoseconds())
+		switch att.out.Class {
 		case guard.TimedOut:
 			state[i] = 4
 			res.TimedOut = append(res.TimedOut, fs[i])
 			g.col.Counter("atpg.faults.timedout").Inc()
-			g.col.EventSince("fault", name, faultStart,
-				obs.Str("outcome", "timed-out"), obs.Str("reason", out.Reason))
+			g.col.EventSince("fault", name, att.start,
+				obs.Str("outcome", "timed-out"), obs.Str("reason", att.out.Reason))
 			continue
 		case guard.Canceled:
 			state[i] = 3
 			res.Aborted = append(res.Aborted, fs[i])
 			g.col.Counter("atpg.faults.aborted").Inc()
-			g.col.EventSince("fault", name, faultStart,
+			g.col.EventSince("fault", name, att.start,
 				obs.Str("outcome", "aborted"), obs.Str("reason", "canceled"))
 			continue
 		case guard.Aborted:
 			state[i] = 3
 			res.Aborted = append(res.Aborted, fs[i])
 			g.col.Counter("atpg.faults.aborted").Inc()
-			g.col.EventSince("fault", name, faultStart,
-				obs.Str("outcome", "aborted"), obs.Str("reason", out.Reason))
+			g.col.EventSince("fault", name, att.start,
+				obs.Str("outcome", "aborted"), obs.Str("reason", att.out.Reason))
 			continue
 		}
-		if !ok {
+		if !att.ok {
 			reason := g.untestableReason(fs[i])
 			state[i] = 2
 			res.Untestable = append(res.Untestable, fs[i])
 			g.col.Counter("atpg.faults.untestable").Inc()
-			g.col.EventSince("fault", name, faultStart,
+			g.col.EventSince("fault", name, att.start,
 				obs.Str("outcome", reason),
-				obs.Int("product_nodes", int64(productNodes)))
+				obs.Int("product_nodes", int64(att.nodes)))
 			ckpt(name, reason, "")
 			continue
 		}
-		res.Vectors = append(res.Vectors, v)
+		res.Vectors = append(res.Vectors, att.v)
 		g.col.Counter("atpg.vectors").Inc()
-		g.col.EventSince("fault", name, faultStart,
+		g.col.EventSince("fault", name, att.start,
 			obs.Str("outcome", "tested"),
-			obs.Int("product_nodes", int64(productNodes)),
-			obs.Str("vector", v.String()))
-		ckpt(name, "tested", v.String())
-		dropWith(v, i, name, false)
+			obs.Int("product_nodes", int64(att.nodes)),
+			obs.Str("vector", att.v.String()))
+		ckpt(name, "tested", att.v.String())
+		dropWith(att.v, i, name, false)
 		if state[i] == 0 {
 			// The generated vector must detect its target; treat a miss
 			// as an internal inconsistency loudly rather than silently.
@@ -383,6 +313,115 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 		res.Stats = g.col.Snapshot().Sub(snapBefore)
 	}
 	return res
+}
+
+// faultAttempt is the outcome of one guarded targeted-fault solve: the
+// guard classification, the witness vector (when ok), the size of the
+// constrained product S and the attempt's wall-clock window.
+type faultAttempt struct {
+	out     guard.Outcome
+	v       faults.Vector
+	ok      bool
+	nodes   int
+	start   time.Time
+	latency time.Duration
+}
+
+// solveFault runs one targeted fault inside the guard harness: panic
+// isolation, per-fault deadline, BDD node budget (doubled on each retry
+// so a budget-tripped fault gets a realistic second chance), and the
+// "atpg.fault" chaos site for fault-injection tests. The fault's span
+// chains under whatever span ctx carries, so the sequential loop and the
+// sharded runtime produce the same causal tree shape. The fault's name
+// labels every CPU sample under its solve, so `go tool pprof -tags`
+// attributes profile time to individual faults.
+func (g *Generator) solveFault(ctx context.Context, limits guard.Limits, f faults.Fault) faultAttempt {
+	att := faultAttempt{start: time.Now()}
+	name := f.Name(g.c)
+	policy := guard.RetryPolicy{
+		MaxRetries: limits.MaxRetries,
+		Backoff:    limits.RetryBackoff,
+	}
+	faultSpan, faultCtx := g.col.StartSpanCtx(ctx, "atpg.fault")
+	itemCtx, cancelItem := limits.WithItemContext(faultCtx)
+	pprof.Do(itemCtx, pprof.Labels("phase", "deterministic", "fault", name), func(itemCtx context.Context) {
+		att.out = guard.Run(itemCtx, g.col, name, policy, func(ctx context.Context, attempt int) error {
+			if err := chaos.Step(ctx, chaos.SiteATPGFault, name); err != nil {
+				return err
+			}
+			g.m.BindContext(ctx)
+			if limits.BDDNodes > 0 {
+				g.m.SetNodeBudget(limits.BDDNodes << attempt)
+			}
+			return bdd.Guard(func() error {
+				s := g.TestFunction(f)
+				if g.col != nil {
+					att.nodes = g.m.NodeCount(s)
+				}
+				var assign map[string]bool
+				if assign, att.ok = g.m.SatOneConstrained(s, g.inputNames); att.ok {
+					att.v = faults.VectorFromAssignment(g.c, assign)
+				}
+				return nil
+			})
+		})
+	})
+	cancelItem()
+	g.m.BindContext(nil)
+	if limits.BDDNodes > 0 {
+		g.m.SetNodeBudget(0)
+	}
+	faultSpan.End()
+	att.latency = time.Since(att.start)
+	return att
+}
+
+// restoreFromCheckpoint replays cp's completed records over fs before any
+// work happens, filling state (1 = detected, 2 = untestable) and res.
+// Tested faults bring their witness vector back into the vector set; a
+// record whose vector fails to parse or whose width does not match the
+// circuit's input count — a stale or cross-circuit checkpoint — is
+// recomputed instead and counted under atpg.checkpoint.errors.
+// Aborted/timed-out faults were never recorded, so they are re-attempted.
+func restoreFromCheckpoint(cp *guard.Checkpoint, c *logic.Circuit, fs []faults.Fault, state []byte, res *Result, col *obs.Collector) {
+	if cp == nil || cp.Len() == 0 {
+		return
+	}
+	nIn := len(c.Inputs())
+	for i := range fs {
+		name := fs[i].Name(c)
+		rec, ok := cp.Lookup(name)
+		if !ok {
+			continue
+		}
+		switch rec.Outcome {
+		case "tested":
+			v, okv := parseVector(rec.Vector)
+			if !okv || len(v) != nIn {
+				// Corrupt or wrong-width record: resuming it would inject
+				// a vector the simulator cannot apply. Recompute.
+				col.Counter("atpg.checkpoint.errors").Inc()
+				continue
+			}
+			state[i] = 1
+			res.Detected++
+			res.Vectors = append(res.Vectors, v)
+		case "dropped":
+			state[i] = 1
+			res.Detected++
+		case "random":
+			state[i] = 1
+			res.Detected++
+			res.RandomHits++
+		default: // untestable reasons: no-difference, constrained-out, unknown
+			state[i] = 2
+			res.Untestable = append(res.Untestable, fs[i])
+		}
+		res.Resumed++
+		col.Counter("atpg.faults.resumed").Inc()
+		col.Event("fault", name,
+			obs.Str("outcome", "resumed"), obs.Str("was", rec.Outcome))
+	}
 }
 
 // parseVector decodes the bit-string form produced by faults.Vector's

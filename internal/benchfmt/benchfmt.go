@@ -30,6 +30,13 @@ type Run struct {
 	NodesAlloc    int64   `json:"nodes_alloc"`
 	FaultP50Ns    float64 `json:"fault_p50_ns"`
 	FaultP99Ns    float64 `json:"fault_p99_ns"`
+	// Sharded-runtime figures (atpg.RunParallel): the worker count, the
+	// vectors that crossed the shard boundary and the shards that died
+	// mid-run. Zero — and omitted — for sequential runs; additive fields,
+	// so no schema bump.
+	ShardWorkers          int64 `json:"shard_workers,omitempty"`
+	ShardVectorsExchanged int64 `json:"shard_vectors_exchanged,omitempty"`
+	ShardAborts           int64 `json:"shard_aborts,omitempty"`
 	// Snapshot is the run's full obs snapshot, for drill-down.
 	Snapshot *obs.Snapshot `json:"snapshot"`
 }
@@ -59,6 +66,11 @@ type Report struct {
 	// additive, so no schema bump — it lets a trajectory of BENCH files
 	// be correlated back to the commits that produced them.
 	Commit string `json:"commit,omitempty"`
+	// Workers is the -workers shard count the report was generated with
+	// (0 or 1 = sequential). Descriptive and additive, like Commit: a
+	// workers=1 baseline diffed against a workers=4 report is how the CI
+	// speedup artifact is produced.
+	Workers int `json:"workers,omitempty"`
 	// Circuits holds one record per benchmark circuit.
 	Circuits []Circuit `json:"circuits"`
 }

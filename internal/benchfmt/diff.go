@@ -75,6 +75,9 @@ var metrics = []metricDef{
 	{"nodes_alloc", kindNodes, func(r *Run) float64 { return float64(r.NodesAlloc) }},
 	{"vectors", kindCount, func(r *Run) float64 { return float64(r.Vectors) }},
 	{"untestable", kindCount, func(r *Run) float64 { return float64(r.Untestable) }},
+	{"shard_workers", kindCount, func(r *Run) float64 { return float64(r.ShardWorkers) }},
+	{"shard_vectors_exchanged", kindCount, func(r *Run) float64 { return float64(r.ShardVectorsExchanged) }},
+	{"shard_aborts", kindCount, func(r *Run) float64 { return float64(r.ShardAborts) }},
 }
 
 // regressed applies the threshold rule for one metric kind.

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/adc"
@@ -147,6 +148,174 @@ func CompileProgramCtx(ctx context.Context, mx *Mixed, matrix *analog.Matrix, el
 	fs := faults.Collapse(mx.Digital)
 	res := gen.Run(fs, atpg.WithContext(ctx))
 	prog.DigitalVectors = gen.Compact(res.Vectors, fs)
+	prog.DigitalFaults = res.Total
+	prog.DigitalCoverage = res.Coverage()
+	for _, f := range res.Untestable {
+		prog.DigitalUntestable = append(prog.DigitalUntestable, f.Name(mx.Digital))
+	}
+	sort.Strings(prog.DigitalUntestable)
+
+	prog.GeneratedIn = time.Since(start)
+	return prog, nil
+}
+
+// MixedFactory builds one independent copy of the mixed-circuit vehicle:
+// the Mixed itself and the sensitivity matrix over the elements under
+// test. CompileProgramParallel calls it once per worker, because the BDD
+// managers and MNA solver state inside a Mixed/Propagator pair are not
+// goroutine-safe — the parallel flow partitions state instead of locking
+// it. The factory must be deterministic (every copy identical), so a
+// verdict is the same no matter which worker computes it.
+type MixedFactory func() (*Mixed, *analog.Matrix, error)
+
+// CompileProgramParallel is CompileProgramCtx with a worker pool: the
+// element×bound analog tests fan out over workers independent vehicle
+// copies, and the constrained digital ATPG runs on the sharded
+// atpg.RunParallel runtime with the conversion constraint rebuilt on
+// every shard's own manager. Results are committed in the same serial
+// order as CompileProgramCtx, so the analog and conversion sections —
+// and the digital coverage and untestable classification — are identical
+// for every worker count; only the exact digital vector set may differ
+// (shards target faults concurrently that a sequential run would have
+// dropped first), and it always detects the same fault set. workers < 2
+// delegates to the sequential flow.
+func CompileProgramParallel(ctx context.Context, workers int, factory MixedFactory, elements []string, opts ...atpg.Option) (*TestProgram, error) {
+	if workers < 2 {
+		mx, matrix, err := factory()
+		if err != nil {
+			return nil, err
+		}
+		return CompileProgramCtx(ctx, mx, matrix, elements, opts...)
+	}
+	start := time.Now()
+
+	type vehicle struct {
+		mx     *Mixed
+		matrix *analog.Matrix
+		prop   *Propagator
+	}
+	ws := make([]*vehicle, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := range ws {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mx, matrix, err := factory()
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			prop, err := NewPropagator(mx, opts...)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			ws[w] = &vehicle{mx: mx, matrix: matrix, prop: prop}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	mx := ws[0].mx
+	prog := &TestProgram{CircuitName: fmt.Sprintf("%s→flash(%d)→%s",
+		mx.Analog.Name(), mx.Conv.NumComparators(), mx.Digital.Name)}
+
+	// 1. Analog element tests, both bounds: a job per element×bound, fed
+	// to the workers over a channel; verdicts land in job order, so the
+	// commit below reads them exactly as the sequential loop would.
+	type job struct {
+		elem  string
+		bound Bound
+	}
+	var jobs []job
+	for _, elem := range elements {
+		for _, bound := range []Bound{UpperBound, LowerBound} {
+			jobs = append(jobs, job{elem, bound})
+		}
+	}
+	verdicts := make([]ElementTest, len(jobs))
+	jobErrs := make([]error, len(jobs))
+	jobCh := make(chan int)
+	for w := range ws {
+		wg.Add(1)
+		go func(v *vehicle) {
+			defer wg.Done()
+			for j := range jobCh {
+				verdicts[j], jobErrs[j] = v.mx.TestAnalogElementCtx(ctx, v.prop, v.matrix, jobs[j].elem, jobs[j].bound)
+			}
+		}(ws[w])
+	}
+	for j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
+	wg.Wait()
+	for j, err := range jobErrs {
+		if err != nil {
+			return nil, fmt.Errorf("core: element %s: %w", jobs[j].elem, err)
+		}
+	}
+	for j, verdict := range verdicts {
+		if !verdict.Testable {
+			prog.AnalogUntestable = append(prog.AnalogUntestable, UntestableElement{
+				Element: jobs[j].elem, Bound: jobs[j].bound, Reason: verdict.Reason,
+			})
+			continue
+		}
+		prog.AnalogTests = append(prog.AnalogTests, AnalogTest{
+			Element:    jobs[j].elem,
+			Bound:      jobs[j].bound,
+			Param:      verdict.Param,
+			Deviation:  verdict.ED,
+			Stimulus:   verdict.Act.Stim,
+			Comparator: verdict.Act.Target,
+			Expect:     verdict.Act.Pattern[verdict.Act.Target-1],
+			FreeInputs: verdict.Prop.Vector,
+			Outputs:    verdict.Prop.Outputs,
+		})
+	}
+
+	// 2. Conversion-block element tests (cheap; worker 0's vehicle).
+	census, err := mx.CensusPropagation(ws[0].prop)
+	if err != nil {
+		return nil, err
+	}
+	opt := adc.DefaultEDOptions()
+	eds := mx.ConversionCoverage(census, opt)
+	best := mx.BestConversionComparators(census, opt)
+	for i := range eds {
+		if best[i] == 0 || math.IsInf(eds[i], 1) {
+			continue
+		}
+		prog.ConversionTests = append(prog.ConversionTests, ConversionTest{
+			Element:    fmt.Sprintf("R%d", i+1),
+			Comparator: best[i],
+			Deviation:  eds[i],
+		})
+	}
+
+	// 3. Constrained digital stuck-at vectors on the sharded runtime.
+	// ConstraintBDD only reads the converter and builds on the passed
+	// manager, so every shard rebuilds Fc on its own manager safely.
+	fs := faults.Collapse(mx.Digital)
+	res, err := atpg.RunParallel(mx.Digital, fs,
+		atpg.WithContext(ctx),
+		atpg.WithWorkers(workers),
+		atpg.WithShardOptions(opts...),
+		atpg.WithShardSetup(func(g *atpg.Generator) error {
+			g.SetConstraint(mx.Conv.ConstraintBDD(g.Manager(), mx.Binding))
+			return nil
+		}))
+	if err != nil {
+		return nil, err
+	}
+	// Compact builds its own fault simulator over the circuit; any
+	// generator over mx.Digital serves.
+	prog.DigitalVectors = ws[0].prop.Generator().Compact(res.Vectors, fs)
 	prog.DigitalFaults = res.Total
 	prog.DigitalCoverage = res.Coverage()
 	for _, f := range res.Untestable {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -80,6 +82,55 @@ func TestCompileProgramEndToEnd(t *testing.T) {
 		"[2] conversion-block element tests", "[3] digital stuck-at vectors", "Rd"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("plan missing %q", want)
+		}
+	}
+}
+
+func TestCompileProgramParallelMatchesSerial(t *testing.T) {
+	elements := []string{"Rd", "Rg", "R1"}
+	factory := func() (*Mixed, *analog.Matrix, error) {
+		mx := testMixed(t)
+		matrix, err := analog.BuildMatrix(mx.Analog, elements, circuits.BandPassParams(),
+			analog.EDOptions{Tol: 0.05, ElemTol: 0, MaxDev: 20, Step: 1e-4})
+		if err != nil {
+			return nil, nil, err
+		}
+		return mx, matrix, nil
+	}
+	serial, err := CompileProgramParallel(context.Background(), 1, factory, elements)
+	if err != nil {
+		t.Fatalf("CompileProgramParallel(1): %v", err)
+	}
+	for _, workers := range []int{2, 3} {
+		par, err := CompileProgramParallel(context.Background(), workers, factory, elements)
+		if err != nil {
+			t.Fatalf("CompileProgramParallel(%d): %v", workers, err)
+		}
+		// The analog and conversion sections — and the digital coverage
+		// and untestable classification — must match the serial flow
+		// exactly; only the digital vector set may differ.
+		if !reflect.DeepEqual(par.AnalogTests, serial.AnalogTests) {
+			t.Errorf("workers=%d: analog tests diverge:\n%+v\nwant\n%+v", workers, par.AnalogTests, serial.AnalogTests)
+		}
+		if !reflect.DeepEqual(par.AnalogUntestable, serial.AnalogUntestable) {
+			t.Errorf("workers=%d: untestable analog elements diverge", workers)
+		}
+		if !reflect.DeepEqual(par.ConversionTests, serial.ConversionTests) {
+			t.Errorf("workers=%d: conversion tests diverge", workers)
+		}
+		if par.DigitalFaults != serial.DigitalFaults || par.DigitalCoverage != serial.DigitalCoverage {
+			t.Errorf("workers=%d: digital faults/coverage = %d/%.3f, want %d/%.3f",
+				workers, par.DigitalFaults, par.DigitalCoverage, serial.DigitalFaults, serial.DigitalCoverage)
+		}
+		if !reflect.DeepEqual(par.DigitalUntestable, serial.DigitalUntestable) {
+			t.Errorf("workers=%d: digital untestable = %v, want %v", workers, par.DigitalUntestable, serial.DigitalUntestable)
+		}
+		// Both compacted vector sets detect the same faults.
+		mx := testMixed(t)
+		fs := faults.Collapse(mx.Digital)
+		sim := faults.NewSimulator(mx.Digital)
+		if got, want := sim.Coverage(par.DigitalVectors, fs), sim.Coverage(serial.DigitalVectors, fs); got != want {
+			t.Errorf("workers=%d: parallel vectors detect %d faults, serial detect %d", workers, got, want)
 		}
 	}
 }

@@ -32,6 +32,12 @@ import (
 const (
 	// SiteATPGFault wraps one combinational fault in atpg.(*Generator).Run.
 	SiteATPGFault = "atpg.fault"
+	// SiteATPGShard wraps one worker-shard boundary in atpg.RunParallel:
+	// shard startup (key "shardN") and each round of targeted-fault work
+	// (key "shardN#round"). An injected failure kills that shard — its
+	// pending faults degrade to typed aborts while the surviving shards
+	// finish the run.
+	SiteATPGShard = "atpg.shard"
 	// SiteATPGSeqFault wraps one core fault in atpg.RunSequentialCtx.
 	SiteATPGSeqFault = "atpg.seq.fault"
 	// SiteMNASolve wraps one context-bound MNA solve.
@@ -53,6 +59,7 @@ const (
 func Sites() []string {
 	return []string{
 		SiteATPGFault,
+		SiteATPGShard,
 		SiteATPGSeqFault,
 		SiteMNASolve,
 		SiteWaveformStep,

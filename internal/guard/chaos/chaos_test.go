@@ -135,4 +135,12 @@ func TestSiteRegistry(t *testing.T) {
 	if !KnownSite("live.sse.write") {
 		t.Error(`KnownSite("live.sse.write") = false`)
 	}
+	// The sharded ATPG runtime's worker boundary is a registered site, so
+	// chaos tests can kill individual shards mid-run.
+	if !seen[SiteATPGShard] {
+		t.Errorf("registry %v is missing SiteATPGShard (%q)", sites, SiteATPGShard)
+	}
+	if !KnownSite("atpg.shard") {
+		t.Error(`KnownSite("atpg.shard") = false`)
+	}
 }

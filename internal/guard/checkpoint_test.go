@@ -113,3 +113,40 @@ func TestDecodeCheckpointRejects(t *testing.T) {
 		t.Fatalf("DecodeCheckpoint rejected a valid document: %v", err)
 	}
 }
+
+func TestCheckpointShardTagRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	cp, err := OpenCheckpoint(path, "shard-scope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Put(Record{Key: "f1", Outcome: "tested", Vector: "010", Shard: "shard2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Put(Record{Key: "f2", Outcome: "dropped"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenCheckpoint(path, "shard-scope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := re.Lookup("f1")
+	if !ok || r.Shard != "shard2" {
+		t.Fatalf("Lookup(f1) = %+v, %v; want Shard %q", r, ok, "shard2")
+	}
+	// A record without a shard tag (sequential run) stays untagged, and
+	// the field is omitted from the file entirely.
+	if r, ok := re.Lookup("f2"); !ok || r.Shard != "" {
+		t.Fatalf("Lookup(f2) = %+v, %v; want empty Shard", r, ok)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(data), `"shard"`); n != 1 {
+		t.Fatalf("file has %d shard fields, want 1 (omitempty):\n%s", n, data)
+	}
+}

@@ -28,3 +28,8 @@ func Waived(ctx context.Context, site string) error {
 func Good(ctx context.Context) error {
 	return chaos.Step(ctx, chaos.SiteMNASolve, "key")
 }
+
+// GoodShard injects at the sharded-runtime worker boundary.
+func GoodShard(ctx context.Context) error {
+	return chaos.Step(ctx, chaos.SiteATPGShard, "shard0")
+}
