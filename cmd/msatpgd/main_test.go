@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestRealMainUsageErrors(t *testing.T) {
+	quotaFile := filepath.Join(t.TempDir(), "quotas.json")
+	if err := os.WriteFile(quotaFile, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no dir", nil, 2},
+		{"unknown flag", []string{"-no-such-flag"}, 2},
+		{"stray args", []string{"-dir", t.TempDir(), "extra"}, 2},
+		{"bad chaos action", []string{"-dir", t.TempDir(), "-chaos-prob", "0.5", "-chaos-action", "explode"}, 2},
+		{"unknown chaos site", []string{"-dir", t.TempDir(), "-chaos-prob", "0.5", "-chaos-sites", "no.such.site"}, 2},
+		{"unreadable quotas", []string{"-dir", t.TempDir(), "-quotas", quotaFile}, 2},
+	} {
+		var out, errb bytes.Buffer
+		if got := realMain(tc.args, &out, &errb, nil); got != tc.want {
+			t.Fatalf("%s: exit = %d, want %d (stderr: %s)", tc.name, got, tc.want, errb.String())
+		}
+	}
+}
+
+func TestRealMainRuntimeError(t *testing.T) {
+	// A state "directory" that is a file: the store cannot open, exit 1.
+	path := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if got := realMain([]string{"-dir", path}, &out, &errb, nil); got != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", got, errb.String())
+	}
+}
+
+// TestRealMainServeAndDrain drives a full daemon lifetime in-process:
+// boot, submit a job over HTTP, wait for it, then drain via SIGTERM and
+// expect a clean exit 0.
+func TestRealMainServeAndDrain(t *testing.T) {
+	dir := t.TempDir()
+	ready := make(chan string, 1)
+	exit := make(chan int, 1)
+	var out, errb bytes.Buffer
+	go func() {
+		exit <- realMain([]string{"-dir", dir, "-addr", "localhost:0", "-sync", "5ms"}, &out, &errb, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case code := <-exit:
+		t.Fatalf("daemon exited %d before binding (stderr: %s)", code, errb.String())
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never bound its listener")
+	}
+
+	resp, err := http.Post("http://"+addr+"/api/v1/jobs", "application/json",
+		strings.NewReader(`{"bench":"INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for job.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s (%s)", job.State, job.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+		resp, err := http.Get("http://" + addr + "/api/v1/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	// First SIGTERM drains; realMain's handler intercepts it.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("drain exit = %d (stderr: %s)", code, errb.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+	if !strings.Contains(errb.String(), "drained") {
+		t.Fatalf("stderr missing drain notice: %s", errb.String())
+	}
+}

@@ -1,0 +1,61 @@
+package atpg
+
+import (
+	"encoding/json"
+	"sort"
+
+	"repro/internal/faults"
+	"repro/internal/logic"
+)
+
+// Classification is the canonical, order-independent outcome document
+// of one run: per-fault classifications keyed by fault name, sorted, so
+// two runs of the same workload can be compared byte-for-byte no matter
+// which order (or on how many worker shards, or across how many
+// checkpoint resumes) the faults completed in. It deliberately excludes
+// the vector list and timing: the tested-versus-dropped split and the
+// exact vector count legitimately vary with worker count and with where
+// a resumed run's checkpoint happened to cut, while the classification
+// below is the run's deterministic contract.
+type Classification struct {
+	Total      int      `json:"total"`
+	Detected   int      `json:"detected"`
+	Coverage   float64  `json:"coverage"`
+	Untestable []string `json:"untestable,omitempty"`
+	Aborted    []string `json:"aborted,omitempty"`
+	TimedOut   []string `json:"timed_out,omitempty"`
+}
+
+// Classify distils the result into its canonical classification; c must
+// be the circuit the run was generated for (fault names come from it).
+func (r *Result) Classify(c *logic.Circuit) *Classification {
+	cl := &Classification{
+		Total:    r.Total,
+		Detected: r.Detected,
+		Coverage: r.Coverage(),
+	}
+	cl.Untestable = faultNames(c, r.Untestable)
+	cl.Aborted = faultNames(c, r.Aborted)
+	cl.TimedOut = faultNames(c, r.TimedOut)
+	return cl
+}
+
+// faultNames renders a fault list as sorted names.
+func faultNames(c *logic.Circuit, fs []faults.Fault) []string {
+	if len(fs) == 0 {
+		return nil
+	}
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Name(c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MarshalCanonical renders the classification as compact JSON with
+// sorted keys and sorted fault lists — the byte-identical comparison
+// form the daemon's resume test and job records use.
+func (cl *Classification) MarshalCanonical() ([]byte, error) {
+	return json.Marshal(cl)
+}

@@ -63,6 +63,7 @@ type runConfig struct {
 	ctx           context.Context
 	limits        guard.Limits
 	checkpoint    *guard.Checkpoint
+	progress      func(name, outcome string)
 
 	// Sharded-runtime knobs, honoured by RunParallel only (see shard.go).
 	workers    int
@@ -107,6 +108,19 @@ func WithCheckpoint(cp *guard.Checkpoint) RunOption {
 	return func(c *runConfig) { c.checkpoint = cp }
 }
 
+// WithProgress installs a live progress callback, invoked serially from
+// the run's coordination path once per fault whose outcome commits
+// (tested, dropped, random, an untestable reason, or "resumed" for
+// checkpoint restores). Collector events reach the root only at the
+// final deterministic merge in the sharded runtime; the callback fires
+// as the run progresses, so a caller can surface live per-fault progress
+// — the msatpgd daemon streams it over SSE and periodically persists the
+// event high-water mark it implies. Aborted and timed-out faults are not
+// reported: like the checkpoint, the callback sees only settled work.
+func WithProgress(fn func(name, outcome string)) RunOption {
+	return func(c *runConfig) { c.progress = fn }
+}
+
 // Run generates tests for every fault in fs with fault dropping: each new
 // vector is fault-simulated against the remaining faults, and faults it
 // detects are never targeted. The vector set therefore detects every
@@ -138,6 +152,9 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 	// ckpt records one completed fault; checkpoint I/O failures are
 	// counted, not fatal — losing a checkpoint must not kill the run.
 	ckpt := func(key, outcome, vector string) {
+		if cfg.progress != nil {
+			cfg.progress(key, outcome)
+		}
 		if cfg.checkpoint == nil {
 			return
 		}
@@ -154,7 +171,7 @@ func (g *Generator) Run(fs []faults.Fault, opts ...RunOption) *Result {
 	// any work. Tested faults bring their witness vector back into the
 	// vector set; aborted/timed-out faults were never recorded, so they
 	// are re-attempted below.
-	restoreFromCheckpoint(cfg.checkpoint, g.c, fs, state, res, g.col)
+	restoreFromCheckpoint(cfg.checkpoint, g.c, fs, state, res, g.col, cfg.progress)
 	pendingIdx := func() []int {
 		var idx []int
 		for i, st := range state {
@@ -340,7 +357,10 @@ func (g *Generator) solveFault(ctx context.Context, limits guard.Limits, f fault
 	name := f.Name(g.c)
 	policy := guard.RetryPolicy{
 		MaxRetries: limits.MaxRetries,
-		Backoff:    limits.RetryBackoff,
+		// Exponential backoff with deterministic jitter, keyed by the
+		// fault name: concurrent shards retrying different faults spread
+		// out instead of re-colliding on the same boundary.
+		BackoffPolicy: guard.Backoff{Base: limits.RetryBackoff, Jitter: 0.5},
 	}
 	faultSpan, faultCtx := g.col.StartSpanCtx(ctx, "atpg.fault")
 	itemCtx, cancelItem := limits.WithItemContext(faultCtx)
@@ -383,7 +403,7 @@ func (g *Generator) solveFault(ctx context.Context, limits guard.Limits, f fault
 // circuit's input count — a stale or cross-circuit checkpoint — is
 // recomputed instead and counted under atpg.checkpoint.errors.
 // Aborted/timed-out faults were never recorded, so they are re-attempted.
-func restoreFromCheckpoint(cp *guard.Checkpoint, c *logic.Circuit, fs []faults.Fault, state []byte, res *Result, col *obs.Collector) {
+func restoreFromCheckpoint(cp *guard.Checkpoint, c *logic.Circuit, fs []faults.Fault, state []byte, res *Result, col *obs.Collector, progress func(name, outcome string)) {
 	if cp == nil || cp.Len() == 0 {
 		return
 	}
@@ -421,6 +441,9 @@ func restoreFromCheckpoint(cp *guard.Checkpoint, c *logic.Circuit, fs []faults.F
 		col.Counter("atpg.faults.resumed").Inc()
 		col.Event("fault", name,
 			obs.Str("outcome", "resumed"), obs.Str("was", rec.Outcome))
+		if progress != nil {
+			progress(name, "resumed")
+		}
 	}
 }
 

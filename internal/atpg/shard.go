@@ -193,6 +193,7 @@ func RunParallel(c *logic.Circuit, fs []faults.Fault, opts ...RunOption) (*Resul
 			WithContext(cfg.ctx),
 			WithLimits(cfg.limits),
 			WithCheckpoint(cfg.checkpoint),
+			WithProgress(cfg.progress),
 		}
 		if cfg.randomVectors > 0 {
 			runOpts = append(runOpts, WithRandomPhase(cfg.randomVectors, cfg.randomSeed))
@@ -241,9 +242,12 @@ func runSharded(c *logic.Circuit, fs []faults.Fault, cfg runConfig, workers int)
 	// The coordinator restores the checkpoint centrally, before
 	// partitioning: only still-pending faults are sharded out, so a
 	// resumed run re-partitions cleanly under any -workers value.
-	restoreFromCheckpoint(cfg.checkpoint, c, fs, state, res, root)
+	restoreFromCheckpoint(cfg.checkpoint, c, fs, state, res, root, cfg.progress)
 
 	ckpt := func(key, outcome, vector, shard string) {
+		if cfg.progress != nil {
+			cfg.progress(key, outcome)
+		}
 		if cfg.checkpoint == nil {
 			return
 		}

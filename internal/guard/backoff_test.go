@@ -1,0 +1,59 @@
+package guard
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffZeroValue(t *testing.T) {
+	var b Backoff
+	for attempt := 0; attempt < 4; attempt++ {
+		if d := b.Delay(attempt, "k"); d != 0 {
+			t.Fatalf("zero Backoff Delay(%d) = %v, want 0", attempt, d)
+		}
+	}
+}
+
+func TestBackoffGrowsExponentiallyAndCaps(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second}
+	prev := time.Duration(0)
+	for attempt := 0; attempt < 10; attempt++ {
+		d := b.Delay(attempt, "fault:l1")
+		if d < prev {
+			t.Fatalf("Delay(%d) = %v shrank below Delay(%d) = %v without jitter", attempt, d, attempt-1, prev)
+		}
+		if d > b.Max {
+			t.Fatalf("Delay(%d) = %v exceeds Max %v", attempt, d, b.Max)
+		}
+		prev = d
+	}
+	if got := b.Delay(0, "k"); got != 100*time.Millisecond {
+		t.Fatalf("jitterless Delay(0) = %v, want the base", got)
+	}
+	if got := b.Delay(1, "k"); got != 200*time.Millisecond {
+		t.Fatalf("jitterless Delay(1) = %v, want 2x base (default factor 2)", got)
+	}
+	if got := b.Delay(9, "k"); got != time.Second {
+		t.Fatalf("jitterless Delay(9) = %v, want the cap", got)
+	}
+}
+
+func TestBackoffJitterDeterministicAndDecorrelated(t *testing.T) {
+	b := Backoff{Base: time.Second, Max: time.Minute, Jitter: 0.5, Seed: 42}
+	d1 := b.Delay(3, "job-1")
+	d2 := b.Delay(3, "job-1")
+	if d1 != d2 {
+		t.Fatalf("same (attempt, key) jittered differently: %v vs %v", d1, d2)
+	}
+	full := time.Duration(8) * time.Second // base * 2^3
+	if d1 > full || d1 < full/2 {
+		t.Fatalf("Delay(3) = %v outside [%v, %v] for Jitter 0.5", d1, full/2, full)
+	}
+	// Different keys (and different seeds) should usually land on
+	// different pauses — that is the de-correlation the jitter buys.
+	other := b.Delay(3, "job-2")
+	reseeded := Backoff{Base: time.Second, Max: time.Minute, Jitter: 0.5, Seed: 43}.Delay(3, "job-1")
+	if d1 == other && d1 == reseeded {
+		t.Fatalf("jitter is constant across keys and seeds: %v", d1)
+	}
+}

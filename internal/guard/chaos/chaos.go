@@ -53,6 +53,18 @@ const (
 	// drops the client connection, an injected timeout models a client
 	// that stopped reading.
 	SiteLiveSSE = "live.sse.write"
+	// SiteServiceStoreWrite wraps one durable write of the msatpgd job
+	// journal (internal/service). An injected failure models a full or
+	// failing disk: the daemon counts it, keeps the in-memory state
+	// authoritative and retries on the next transition, so a flaky
+	// store degrades durability — never the serving path.
+	SiteServiceStoreWrite = "service.store.write"
+	// SiteServiceJobStart wraps the launch of one accepted job in the
+	// msatpgd scheduler, keyed by job id. An injected failure stands in
+	// for a transient start-up casualty (worker death, OOM kill); the
+	// job re-queues with exponential backoff until its retry budget is
+	// spent.
+	SiteServiceJobStart = "service.job.start"
 )
 
 // Sites returns every registered injection site name, in registry order.
@@ -65,6 +77,8 @@ func Sites() []string {
 		SiteWaveformStep,
 		SiteCoreElement,
 		SiteLiveSSE,
+		SiteServiceStoreWrite,
+		SiteServiceJobStart,
 	}
 }
 

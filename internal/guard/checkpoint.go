@@ -20,6 +20,23 @@ const checkpointVersion = 1
 // critical path.
 const DefaultFlushEvery = 64
 
+// DecodeError reports that checkpoint (or checkpoint-encoded journal)
+// bytes failed to parse or validate — a truncated file after a crash, a
+// partially-written document, a foreign format. It is a typed error so
+// callers can tell "the file is damaged, start fresh" (recoverable by
+// quarantining the file) from I/O failures that deserve a retry:
+//
+//	var de *guard.DecodeError
+//	if errors.As(err, &de) { /* quarantine + fresh run */ }
+type DecodeError struct {
+	Cause error
+}
+
+func (e *DecodeError) Error() string { return "guard: decoding checkpoint: " + e.Cause.Error() }
+
+// Unwrap exposes the underlying parse/validation failure.
+func (e *DecodeError) Unwrap() error { return e.Cause }
+
 // Record is one completed work item in a checkpoint: the key identifies
 // the item (fault name), the outcome is its terminal classification and
 // the optional fields carry what the resumed run needs to avoid
@@ -104,17 +121,17 @@ func OpenCheckpoint(path, scope string) (*Checkpoint, error) {
 func DecodeCheckpoint(data []byte) (*CheckpointFile, error) {
 	var f CheckpointFile
 	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("parsing checkpoint: %w", err)
+		return nil, &DecodeError{Cause: fmt.Errorf("parsing checkpoint: %w", err)}
 	}
 	if f.Version != checkpointVersion {
-		return nil, fmt.Errorf("unsupported checkpoint version %d (want %d)", f.Version, checkpointVersion)
+		return nil, &DecodeError{Cause: fmt.Errorf("unsupported checkpoint version %d (want %d)", f.Version, checkpointVersion)}
 	}
 	for i, r := range f.Records {
 		if r.Key == "" {
-			return nil, fmt.Errorf("checkpoint record %d has an empty key", i)
+			return nil, &DecodeError{Cause: fmt.Errorf("checkpoint record %d has an empty key", i)}
 		}
 		if r.Outcome == "" {
-			return nil, fmt.Errorf("checkpoint record %q has an empty outcome", r.Key)
+			return nil, &DecodeError{Cause: fmt.Errorf("checkpoint record %q has an empty outcome", r.Key)}
 		}
 	}
 	return &f, nil
@@ -122,6 +139,22 @@ func DecodeCheckpoint(data []byte) (*CheckpointFile, error) {
 
 // Scope returns the scope string this checkpoint was opened with.
 func (c *Checkpoint) Scope() string { return c.scope }
+
+// SetFlushEvery overrides how many new records accumulate before the
+// file is rewritten (DefaultFlushEvery unless set). A long-running
+// service lowers it so a SIGKILL loses less completed work; values
+// below 1 flush on every Put. Nil-safe.
+func (c *Checkpoint) SetFlushEvery(n int) {
+	if c == nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	c.mu.Lock()
+	c.flushEvery = n
+	c.mu.Unlock()
+}
 
 // Len returns how many completed records the checkpoint holds.
 func (c *Checkpoint) Len() int {
@@ -183,22 +216,40 @@ func (c *Checkpoint) Flush() error {
 	c.dirty = 0
 	c.mu.Unlock()
 
-	dir := filepath.Dir(c.path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(c.path)+".tmp*")
-	if err != nil {
+	if err := WriteFileAtomic(c.path, func(w io.Writer) error {
+		return writeCheckpoint(w, &f)
+	}); err != nil {
 		return fmt.Errorf("guard: checkpoint flush: %w", err)
 	}
-	err = writeCheckpoint(tmp, &f)
+	return nil
+}
+
+// WriteFileAtomic writes a file via the temp-file-in-same-directory +
+// rename protocol the checkpoint uses, so a crash (even SIGKILL) at any
+// instant leaves either the previous complete file or the new complete
+// file — never a truncated hybrid. It is exported for the other durable
+// stores of the pipeline (the service job journal) that need the same
+// guarantee.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	err = write(tmp)
+	if serr := tmp.Sync(); err == nil {
+		err = serr
+	}
 	if cerr := tmp.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("guard: checkpoint flush: %w", err)
+		return err
 	}
-	if err := os.Rename(tmp.Name(), c.path); err != nil {
+	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("guard: checkpoint flush: %w", err)
+		return err
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package guard
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -149,4 +150,108 @@ func TestCheckpointShardTagRoundTrip(t *testing.T) {
 	if n := strings.Count(string(data), `"shard"`); n != 1 {
 		t.Fatalf("file has %d shard fields, want 1 (omitempty):\n%s", n, data)
 	}
+}
+
+// TestCheckpointTruncatedFile simulates the file a crashing process
+// without atomic writes would leave behind: a valid document cut at
+// every possible byte offset. Each truncation must surface as a typed
+// *DecodeError — never a panic, never a silently half-loaded resume.
+func TestCheckpointTruncatedFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	cp, err := OpenCheckpoint(path, "trunc-scope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []Record{
+		{Key: "l1 s-a-0", Outcome: "tested", Vector: "0101", Shard: "shard1"},
+		{Key: "l2 s-a-1", Outcome: "dropped"},
+	} {
+		if err := cp.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trailing whitespace is not load-bearing; every cut below must
+	// remove at least the document's closing brace.
+	data = []byte(strings.TrimRight(string(data), "\n"))
+	for cut := 1; cut < len(data); cut++ {
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := OpenCheckpoint(path, "trunc-scope")
+		if err == nil {
+			// Some prefixes happen to parse (e.g. the array cut between
+			// complete records would not, but defensively: a nil error
+			// must mean the whole document survived, which it cannot).
+			t.Fatalf("OpenCheckpoint accepted a %d/%d-byte truncation", cut, len(data))
+		}
+		var de *DecodeError
+		if !errors.As(err, &de) {
+			t.Fatalf("truncation at %d: error is not a *DecodeError: %v", cut, err)
+		}
+	}
+}
+
+// TestCheckpointPartialGarbage covers the other half of "partially
+// written": plausible-looking but invalid documents.
+func TestCheckpointPartialGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	for _, body := range []string{
+		"",                                       // empty file
+		"\x00\x01\x02",                           // binary garbage
+		`{"version":1`,                           // cut mid-header
+		`[1,2,3]`,                                // valid JSON, wrong shape... decodes to zero version
+		`{"version":2,"scope":"s","records":[]}`, // future version
+	} {
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := OpenCheckpoint(path, "s")
+		if err == nil {
+			t.Fatalf("OpenCheckpoint accepted %q", body)
+		}
+		var de *DecodeError
+		if !errors.As(err, &de) {
+			t.Fatalf("damage %q: error is not a *DecodeError: %v", body, err)
+		}
+		if de.Unwrap() == nil {
+			t.Fatalf("damage %q: DecodeError has no cause", body)
+		}
+	}
+	// A quarantine-and-retry — what the service layer does on decode
+	// errors — must then yield a working fresh checkpoint.
+	if err := os.Rename(path, path+".corrupt"); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := OpenCheckpoint(path, "s")
+	if err != nil {
+		t.Fatalf("fresh checkpoint after quarantine: %v", err)
+	}
+	if cp.Len() != 0 {
+		t.Fatalf("fresh checkpoint has %d records", cp.Len())
+	}
+}
+
+func TestCheckpointSetFlushEvery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	cp, err := OpenCheckpoint(path, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.SetFlushEvery(0) // clamps to 1: flush on every put
+	if err := cp.Put(Record{Key: "a", Outcome: "tested"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("SetFlushEvery(0) did not flush on first put: %v", err)
+	}
+	var nilCp *Checkpoint
+	nilCp.SetFlushEvery(7) // nil-safe
 }

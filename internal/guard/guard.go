@@ -137,9 +137,9 @@ type Limits struct {
 	MNASolves int64
 	// MaxRetries bounds how many extra attempts a retryable abort gets.
 	MaxRetries int
-	// RetryBackoff is the pause before each retry attempt (scaled
-	// linearly by attempt number). Keep it small: retries happen inside
-	// a per-run deadline.
+	// RetryBackoff is the base pause before the first retry attempt;
+	// consumers grow it per the Backoff policy (exponential with
+	// jitter). Keep it small: retries happen inside a per-run deadline.
 	RetryBackoff time.Duration
 }
 
@@ -244,6 +244,11 @@ func count(col *obs.Collector, out Outcome) {
 type RetryPolicy struct {
 	MaxRetries int
 	Backoff    time.Duration
+	// BackoffPolicy, when its Base is set, replaces the linear Backoff
+	// pause with exponential backoff and deterministic jitter (see the
+	// Backoff type). The retried item's name keys the jitter hash, so
+	// concurrent retriers of different items de-correlate.
+	BackoffPolicy Backoff
 	// Retryable decides per outcome; nil retries every Aborted outcome
 	// (panics and budget trips — the degradations a different strategy,
 	// a bigger budget or plain luck can fix).
@@ -273,8 +278,14 @@ func Run(ctx context.Context, col *obs.Collector, name string, p RetryPolicy, fn
 		if out.OK() || attempt >= p.MaxRetries || !retryable(out) {
 			return out
 		}
-		if p.Backoff > 0 {
-			t := time.NewTimer(p.Backoff * time.Duration(attempt+1))
+		var pause time.Duration
+		if p.BackoffPolicy.Base > 0 {
+			pause = p.BackoffPolicy.Delay(attempt, name)
+		} else if p.Backoff > 0 {
+			pause = p.Backoff * time.Duration(attempt+1)
+		}
+		if pause > 0 {
+			t := time.NewTimer(pause)
 			select {
 			case <-t.C:
 			case <-ctxDone(ctx):

@@ -33,3 +33,12 @@ func Good(ctx context.Context) error {
 func GoodShard(ctx context.Context) error {
 	return chaos.Step(ctx, chaos.SiteATPGShard, "shard0")
 }
+
+// GoodService injects at the daemon's durable-store and job-start
+// boundaries via their registry constants.
+func GoodService(ctx context.Context) error {
+	if err := chaos.Step(ctx, chaos.SiteServiceStoreWrite, "jobs.json"); err != nil {
+		return err
+	}
+	return chaos.Step(ctx, chaos.SiteServiceJobStart, "job-1")
+}

@@ -283,6 +283,9 @@ type progresszPayload struct {
 	// per-track (worker lane) utilization and top self-time spans.
 	// Omitted until the collector has recorded spans.
 	Critical *report.CriticalSection `json:"critical,omitempty"`
+	// Service is the msatpgd job daemon's lifecycle tallies; omitted for
+	// plain pipeline runs.
+	Service *report.ServiceSection `json:"service,omitempty"`
 }
 
 func (s *Server) handleProgressz(w http.ResponseWriter, r *http.Request) {
@@ -309,5 +312,6 @@ func (s *Server) handleProgressz(w http.ResponseWriter, r *http.Request) {
 	p.Events.Dropped = c["live.sse.dropped"]
 	p.Events.Clients = s.clients.Load()
 	p.Critical = report.Critical(snap, report.DefaultTopBlocking)
+	p.Service = report.BuildService(snap)
 	writeJSON(w, p)
 }

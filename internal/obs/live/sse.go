@@ -18,7 +18,7 @@ import (
 const DefaultPollInterval = 100 * time.Millisecond
 
 // writeFrame writes one event as an SSE frame. The id line carries the
-// event's collector-lifetime sequence number, so a disconnected client
+// event's stream-lifetime sequence number, so a disconnected client
 // resumes exactly where it stopped by echoing it back as Last-Event-ID;
 // the event line carries the work-item kind ("fault", "element", ...)
 // so EventSource listeners can subscribe per kind.
@@ -31,21 +31,22 @@ func writeFrame(w io.Writer, seq int64, ev obs.Event) error {
 	return err
 }
 
-// writeGap notifies the client that missed events were overwritten by
-// ring overflow before they could be streamed. The frame deliberately
-// has no id line: the missed events are gone, so the resume cursor must
-// not advance past data the client never saw twice.
+// writeGap notifies the client that missed events were lost before they
+// could be streamed — overwritten by ring overflow, or emitted by a
+// previous process incarnation that died. The frame deliberately has no
+// id line: the missed events are gone, so the resume cursor must not
+// advance past data the client never saw.
 func writeGap(w io.Writer, missed int64) error {
 	_, err := fmt.Fprintf(w, "event: dropped\ndata: {\"missed\":%d}\n\n", missed)
 	return err
 }
 
-// writeFrames streams evs (whose first event has sequence number first)
-// to w, returning the count written and the first error. Each frame
-// write is the chaos.SiteLiveSSE injection site, keyed by the frame's
-// sequence number: a firing injector stands in for a slow or failing
-// client, and the handler reacts exactly as it would to a real write
-// error — it drops the connection.
+// writeFrames streams evs (whose first event has wire-visible sequence
+// number first) to w, returning the count written and the first error.
+// Each frame write is the chaos.SiteLiveSSE injection site, keyed by the
+// frame's sequence number: a firing injector stands in for a slow or
+// failing client, and the handler reacts exactly as it would to a real
+// write error — it drops the connection.
 func writeFrames(ctx context.Context, w io.Writer, evs []obs.Event, first int64) (int, error) {
 	for i, ev := range evs {
 		seq := first + int64(i)
@@ -59,23 +60,46 @@ func writeFrames(ctx context.Context, w io.Writer, evs []obs.Event, first int64)
 	return len(evs), nil
 }
 
-// handleEvents streams the collector's event log as Server-Sent Events.
+// EventStreamer serves one collector's event log as Server-Sent Events.
+// The live Server's /events endpoint is a streamer with Base 0; the
+// msatpgd job daemon builds one per job with Base set to the job's
+// persisted event high-water mark, so wire-visible sequence ids stay
+// monotonic across a daemon crash and restart.
 //
-// Without a Last-Event-ID header the stream starts at the oldest event
-// the ring retains (so a fresh client immediately gets the backlog);
-// with one, it resumes at the next sequence number. When the client
-// falls behind the ring — more events were appended than the ring holds
-// between two polls, or the resume point was already overwritten — the
-// gap is counted on the live.sse.dropped counter and announced in-band
-// with a "dropped" frame before streaming continues from the oldest
-// retained event.
-func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	// An injected chaos panic at the write site degrades to a dropped
-	// client — the guard-layer philosophy applied to streaming: one bad
-	// client never takes the ops server (or the run) down with it.
+// Wire protocol: each event's id line is Base plus the event's sequence
+// number in the collector ring. Without a Last-Event-ID header the
+// stream starts at the oldest retained event; with one, it resumes at
+// the next id. A client that resumes below what the stream can replay —
+// because the ring overflowed, or because the id was minted by a
+// previous process whose ring died with it — gets the gap counted on
+// live.sse.dropped and announced in-band with a "dropped" frame before
+// streaming continues, instead of silently restarting sequence ids.
+type EventStreamer struct {
+	// Col is the collector whose event ring is streamed. The streamer's
+	// live.sse.* counters are recorded on it.
+	Col *obs.Collector
+	// Base offsets every wire-visible id: external id = Base + ring
+	// sequence number. Persist the stream's high-water mark and restore
+	// it here after a restart to keep ids monotonic across process
+	// lifetimes.
+	Base int64
+	// Poll is the ring poll interval (DefaultPollInterval when 0).
+	Poll time.Duration
+	// OnConnect, when set, runs once the stream headers are sent; its
+	// returned function (if any) runs when the client disconnects. The
+	// live Server uses it to maintain the SSE client gauge.
+	OnConnect func() func()
+}
+
+// ServeHTTP streams events until the client disconnects or a write
+// fails. An injected chaos panic at the write site degrades to a
+// dropped client — the guard-layer philosophy applied to streaming: one
+// bad client never takes the ops server (or the run) down with it.
+func (st *EventStreamer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	col := st.Col
 	defer func() {
 		if rec := recover(); rec != nil {
-			s.col.Counter("live.sse.panics").Inc()
+			col.Counter("live.sse.panics").Inc()
 		}
 	}()
 	fl, ok := w.(http.Flusher)
@@ -83,14 +107,25 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "streaming unsupported by this connection", http.StatusInternalServerError)
 		return
 	}
-	var seq int64
+	poll := st.Poll
+	if poll <= 0 {
+		poll = DefaultPollInterval
+	}
+	// seq is the cursor into the collector ring; preGap counts events
+	// the client asked to resume from that predate Base — ids served by
+	// a previous incarnation of this stream, gone with its ring.
+	var seq, preGap int64
 	if id := r.Header.Get("Last-Event-ID"); id != "" {
 		n, err := strconv.ParseInt(id, 10, 64)
 		if err != nil || n < 0 {
 			http.Error(w, "malformed Last-Event-ID (want a non-negative integer)", http.StatusBadRequest)
 			return
 		}
-		seq = n + 1
+		seq = n + 1 - st.Base
+		if seq < 0 {
+			preGap = -seq
+			seq = 0
+		}
 	}
 
 	h := w.Header()
@@ -101,29 +136,37 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, ": msatpg live event stream\nretry: %d\n\n", DefaultPollInterval.Milliseconds())
 	fl.Flush()
 
-	s.col.Gauge("live.sse.clients").Set(s.clients.Add(1))
-	defer func() { s.col.Gauge("live.sse.clients").Set(s.clients.Add(-1)) }()
+	if st.OnConnect != nil {
+		if done := st.OnConnect(); done != nil {
+			defer done()
+		}
+	}
 
 	ctx := r.Context()
-	tick := time.NewTicker(s.poll)
+	tick := time.NewTicker(poll)
 	defer tick.Stop()
 	for {
-		evs, first := s.col.EventsSince(seq)
+		evs, first := col.EventsSince(seq)
+		missed := preGap
 		if first > seq {
-			s.col.Counter("live.sse.dropped").Add(first - seq)
-			if err := writeGap(w, first-seq); err != nil {
+			missed += first - seq
+		}
+		if missed > 0 {
+			preGap = 0
+			col.Counter("live.sse.dropped").Add(missed)
+			if err := writeGap(w, missed); err != nil {
 				return
 			}
 		}
-		n, err := writeFrames(ctx, w, evs, first)
-		s.col.Counter("live.sse.frames").Add(int64(n))
+		n, err := writeFrames(ctx, w, evs, st.Base+first)
+		col.Counter("live.sse.frames").Add(int64(n))
 		if err != nil {
 			// A write failure — real or injected — drops this client;
 			// its next connection resumes from its Last-Event-ID.
-			s.col.Counter("live.sse.write_errors").Inc()
+			col.Counter("live.sse.write_errors").Inc()
 			return
 		}
-		if n > 0 || first > seq {
+		if n > 0 || missed > 0 {
 			fl.Flush()
 		}
 		seq = first + int64(n)
@@ -133,4 +176,19 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case <-tick.C:
 		}
 	}
+}
+
+// handleEvents streams the root collector's event log over SSE via an
+// EventStreamer with Base 0; see that type for the resume and gap
+// semantics.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	st := &EventStreamer{
+		Col:  s.col,
+		Poll: s.poll,
+		OnConnect: func() func() {
+			s.col.Gauge("live.sse.clients").Set(s.clients.Add(1))
+			return func() { s.col.Gauge("live.sse.clients").Set(s.clients.Add(-1)) }
+		},
+	}
+	st.ServeHTTP(w, r)
 }

@@ -115,6 +115,7 @@ type Report struct {
 	Elements    *ElementSection    `json:"elements,omitempty"`
 	Comparators *ComparatorSection `json:"comparators,omitempty"`
 	Critical    *CriticalSection   `json:"critical,omitempty"`
+	Service     *ServiceSection    `json:"service,omitempty"`
 	Metrics     Headline           `json:"metrics"`
 }
 
@@ -171,6 +172,7 @@ func Build(s *obs.Snapshot, opts ...Option) *Report {
 	r.Elements = buildElements(s)
 	r.Comparators = buildComparators(s)
 	r.Critical = buildCritical(s, b.blocking)
+	r.Service = BuildService(s)
 	return r
 }
 
@@ -422,6 +424,18 @@ func (r *Report) WriteText(w io.Writer) error {
 				p("    %-28s %9s over %d spans (max %s)\n",
 					b.Name, fmtNs(float64(b.SelfNs)), b.Count, fmtNs(float64(b.MaxNs)))
 			}
+		}
+	}
+	if s := r.Service; s != nil {
+		p("\njob daemon: %d submitted, %d started, %d completed, %d failed, %d canceled (%d queued, %d running)\n",
+			s.Submitted, s.Started, s.Completed, s.Failed, s.Canceled, s.QueueDepth, s.Running)
+		if s.Retried > 0 || s.Recovered > 0 || s.Rejected > 0 {
+			p("  resilience: %d retries, %d crash-recovered, %d load-shed\n",
+				s.Retried, s.Recovered, s.Rejected)
+		}
+		if s.StoreErrors > 0 || s.StoreCorrupt > 0 || s.CheckpointCorrupt > 0 {
+			p("  store degradation: %d failed writes, %d corrupt journals quarantined, %d corrupt checkpoints quarantined\n",
+				s.StoreErrors, s.StoreCorrupt, s.CheckpointCorrupt)
 		}
 	}
 	m := r.Metrics

@@ -1,0 +1,426 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/guard"
+	"repro/internal/guard/chaos"
+)
+
+// testBench is a small inline netlist for fast end-to-end jobs.
+const testBench = `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+n1 = AND(a, b)
+n2 = OR(n1, c)
+y = NOT(n2)
+`
+
+// waitJob polls the job until pred holds or the deadline passes.
+func waitJob(t *testing.T, d *Daemon, id string, timeout time.Duration, pred func(*Job) bool) *Job {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		j, ok := d.Store().Get(id)
+		if ok && pred(j) {
+			return j
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not reach the expected state in %v; last: %+v", id, timeout, j)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	d, err := New(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, spec := range []JobSpec{
+		{Circuit: "nonsense"},
+		{Circuit: "bandpass", Digital: "c880"},
+		{Bench: "not a netlist", Circuit: ""},
+		{Bench: testBench, Circuit: "chebyshev"},
+		{Workers: -1},
+	} {
+		_, err := d.Submit(ctx, spec)
+		if err == nil {
+			t.Fatalf("Submit accepted invalid spec %+v", spec)
+		}
+		var ae *AdmissionError
+		if errors.As(err, &ae) {
+			t.Fatalf("validation failure %+v misreported as admission (overload): %v", spec, err)
+		}
+	}
+	// Defaults are filled in: an empty spec is the default chebyshev/c880.
+	j, err := d.Submit(ctx, JobSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Spec.Circuit != "chebyshev" || j.Spec.Digital != "c880" {
+		t.Fatalf("empty spec normalized to %+v", j.Spec)
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	// No Start: submitted jobs stay queued, so admission state is exact.
+	d, err := New(Config{
+		Dir:      t.TempDir(),
+		MaxQueue: 2,
+		Quotas:   &Quotas{Tenants: map[string]Quota{"t1": {MaxActive: 1}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := d.Submit(ctx, JobSpec{Bench: testBench, Tenant: "t1"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tenant quota: t1 already has one active job.
+	_, err = d.Submit(ctx, JobSpec{Bench: testBench, Tenant: "t1"})
+	var ae *AdmissionError
+	if !errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests {
+		t.Fatalf("tenant overflow = %v, want a 429 AdmissionError", err)
+	}
+	if ae.RetryAfter <= 0 {
+		t.Fatal("429 without a Retry-After hint")
+	}
+
+	// Global queue bound: a different tenant fills the queue, the next
+	// submission sheds.
+	if _, err := d.Submit(ctx, JobSpec{Bench: testBench, Tenant: "t2"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = d.Submit(ctx, JobSpec{Bench: testBench, Tenant: "t3"})
+	if !errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests {
+		t.Fatalf("queue overflow = %v, want a 429 AdmissionError", err)
+	}
+
+	// Drain: admission closes with 503.
+	d.Drain()
+	_, err = d.Submit(ctx, JobSpec{Bench: testBench})
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("draining submit = %v, want a 503 AdmissionError", err)
+	}
+
+	snap := d.Collector().Snapshot()
+	if got := snap.Counters["service.jobs.rejected"]; got != 3 {
+		t.Fatalf("service.jobs.rejected = %d, want 3", got)
+	}
+	if got := snap.Counters["service.jobs.submitted"]; got != 2 {
+		t.Fatalf("service.jobs.submitted = %d, want 2", got)
+	}
+}
+
+func TestInlineBenchJobLifecycle(t *testing.T) {
+	d, err := New(Config{Dir: t.TempDir(), SyncInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	d.Start(ctx)
+	defer d.Drain()
+
+	j, err := d.Submit(ctx, JobSpec{Bench: testBench})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitJob(t, d, j.ID, 30*time.Second, func(j *Job) bool { return j.State == StateDone })
+	if done.Result == nil || done.Result.Total == 0 {
+		t.Fatalf("done job has no result: %+v", done)
+	}
+	if done.Error != "" || done.FinishedNs == 0 || done.Attempts != 1 {
+		t.Fatalf("done job bookkeeping wrong: %+v", done)
+	}
+	if done.EventSeq == 0 {
+		t.Fatal("done job has no SSE event high-water mark")
+	}
+
+	snap := d.Collector().Snapshot()
+	for counter, want := range map[string]int64{
+		"service.jobs.submitted": 1,
+		"service.jobs.started":   1,
+		"service.jobs.completed": 1,
+	} {
+		if got := snap.Counters[counter]; got != want {
+			t.Fatalf("%s = %d, want %d", counter, got, want)
+		}
+	}
+	if got := snap.Gauges["service.jobs.running"]; got != 0 {
+		t.Fatalf("service.jobs.running = %d after completion", got)
+	}
+	// The job's per-fault work merged into the daemon's root collector.
+	if snap.Counters["atpg.faults.total"] == 0 {
+		t.Fatal("job lane never merged into the daemon collector")
+	}
+}
+
+// TestJobRetryBackoffThenFail: a transient start-up casualty (injected at
+// chaos.SiteServiceJobStart) re-queues the job with backoff until the
+// retry budget is spent, then fails it with the typed reason.
+func TestJobRetryBackoffThenFail(t *testing.T) {
+	d, err := New(Config{
+		Dir:        t.TempDir(),
+		JobRetries: 2,
+		Backoff:    guard.Backoff{Base: time.Millisecond, Max: 4 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := chaos.New(7, 1, chaos.WithAction(chaos.Error), chaos.AtSites(chaos.SiteServiceJobStart))
+	ctx, cancel := context.WithCancel(chaos.Into(context.Background(), inj))
+	defer cancel()
+	d.Start(ctx)
+	defer d.Drain()
+
+	j, err := d.Submit(ctx, JobSpec{Bench: testBench})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := waitJob(t, d, j.ID, 30*time.Second, func(j *Job) bool { return j.State.Terminal() })
+	if failed.State != StateFailed {
+		t.Fatalf("chaos-killed job ended %s, want failed", failed.State)
+	}
+	if failed.Attempts != 3 {
+		t.Fatalf("Attempts = %d, want 3 (1 try + 2 retries)", failed.Attempts)
+	}
+	if failed.Error == "" {
+		t.Fatal("failed job carries no reason")
+	}
+	snap := d.Collector().Snapshot()
+	if got := snap.Counters["service.jobs.retried"]; got != 2 {
+		t.Fatalf("service.jobs.retried = %d, want 2", got)
+	}
+	if got := snap.Counters["service.jobs.failed"]; got != 1 {
+		t.Fatalf("service.jobs.failed = %d, want 1", got)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	d, err := New(Config{Dir: t.TempDir()}) // not started: job stays queued
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	j, err := d.Submit(ctx, JobSpec{Bench: testBench})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := d.Cancel(ctx, j.ID)
+	if err != nil || c.State != StateCanceled {
+		t.Fatalf("Cancel = %+v, %v, want canceled", c, err)
+	}
+	// Idempotent on a terminal job.
+	c2, err := d.Cancel(ctx, j.ID)
+	if err != nil || c2.State != StateCanceled {
+		t.Fatalf("second Cancel = %+v, %v", c2, err)
+	}
+	if _, err := d.Cancel(ctx, "job-999"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Cancel(unknown) = %v, want ErrNotFound", err)
+	}
+	if got := d.Collector().Snapshot().Counters["service.jobs.canceled"]; got != 1 {
+		t.Fatalf("service.jobs.canceled = %d, want 1", got)
+	}
+}
+
+// TestKillRestartResume is the PR's acceptance test: a daemon SIGKILLed
+// mid-run (simulated by Abort: the store freezes and every goroutine is
+// cut down with nothing further recorded) restarts, re-queues the job
+// the dead process left "running", resumes it from its checkpoint at a
+// DIFFERENT worker count, and finishes with a classification that is
+// byte-identical to an uninterrupted run's. Afterwards, an SSE client
+// reconnecting with a pre-crash Last-Event-ID gets an explicit gap frame
+// before the new process's events.
+func TestKillRestartResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second ATPG workload")
+	}
+	spec := JobSpec{Circuit: "chebyshev", Digital: "c432"}
+
+	// Reference: the same job, uninterrupted.
+	refDir := t.TempDir()
+	ref, err := New(Config{Dir: refDir, DefaultWorkers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCtx, refCancel := context.WithCancel(context.Background())
+	defer refCancel()
+	ref.Start(refCtx)
+	rj, err := ref.Submit(refCtx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDone := waitJob(t, ref, rj.ID, 120*time.Second, func(j *Job) bool { return j.State == StateDone })
+	ref.Drain()
+	want, err := refDone.Result.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted: same spec in a fresh daemon, killed mid-run.
+	dir := t.TempDir()
+	d1, err := New(Config{
+		Dir:             dir,
+		DefaultWorkers:  3,
+		CheckpointEvery: 1,                    // flush every fault: maximum crash resolution
+		SyncInterval:    5 * time.Millisecond, // persist the SSE high-water mark aggressively
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	defer cancel1()
+	d1.Start(ctx1)
+	j, err := d1.Submit(ctx1, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill once the crash will have something to prove: at least 3
+	// checkpointed faults and a persisted SSE high-water mark well above
+	// zero.
+	ckptPath := d1.Store().CheckpointPath(j.ID)
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		var records int
+		if data, err := os.ReadFile(ckptPath); err == nil {
+			if f, err := guard.DecodeCheckpoint(data); err == nil {
+				records = len(f.Records)
+			}
+		}
+		cur, _ := d1.Store().Get(j.ID)
+		if records >= 3 && cur != nil && cur.EventSeq >= 5 {
+			break
+		}
+		if cur != nil && cur.State.Terminal() {
+			t.Fatalf("job finished (%s) before the kill window; workload too small", cur.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no kill window in 120s: %d checkpoint records, job %+v", records, cur)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	d1.Abort()
+
+	// The on-disk journal must look exactly like a SIGKILL: the job still
+	// says "running", with the pre-crash event high-water mark.
+	data, err := os.ReadFile(d1.Store().path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jf, err := decodeJournal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jf.Jobs) != 1 || jf.Jobs[0].State != StateRunning {
+		t.Fatalf("post-kill journal: %+v, want the job still running", jf.Jobs)
+	}
+	crashHwm := jf.Jobs[0].EventSeq
+	if crashHwm < 5 {
+		t.Fatalf("post-kill journal EventSeq = %d, want >= 5", crashHwm)
+	}
+
+	// Restart on the same directory, at a different worker count.
+	d2, err := New(Config{Dir: dir, DefaultWorkers: 2, CheckpointEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.Collector().Snapshot().Counters["service.jobs.recovered"]; got != 1 {
+		t.Fatalf("service.jobs.recovered = %d, want 1", got)
+	}
+	if rec, _ := d2.Store().Get(j.ID); rec.State != StateQueued {
+		t.Fatalf("recovered job state = %s, want queued", rec.State)
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	d2.Start(ctx2)
+	defer d2.Drain()
+	done := waitJob(t, d2, j.ID, 120*time.Second, func(j *Job) bool { return j.State == StateDone })
+	if done.Resumed < 3 {
+		t.Fatalf("resumed run restored %d faults from the checkpoint, want >= 3", done.Resumed)
+	}
+	got, err := done.Result.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("interrupted+resumed classification differs from uninterrupted:\n got: %s\nwant: %s", got, want)
+	}
+
+	// SSE across the restart: a client reconnecting with a pre-crash id
+	// must get an explicit dropped-gap frame before the new process's
+	// events, whose ids continue above the persisted high-water mark.
+	rt := d2.runtime(j.ID)
+	if rt == nil {
+		t.Fatal("no runtime lane for the resumed job")
+	}
+	if rt.base < crashHwm {
+		t.Fatalf("resumed SSE base %d below the crash high-water mark %d", rt.base, crashHwm)
+	}
+	srv := httptest.NewServer(d2.Handler())
+	defer srv.Close()
+	reqCtx, reqCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer reqCancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, srv.URL+"/api/v1/jobs/"+j.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", "0")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events status = %d", resp.StatusCode)
+	}
+	sawGap := false
+	var firstID int64 = -1
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "event: dropped" {
+			sawGap = true
+			continue
+		}
+		if id, ok := strings.CutPrefix(line, "id: "); ok {
+			if !sawGap {
+				t.Fatalf("event id %s streamed before the gap frame", id)
+			}
+			firstID, err = strconv.ParseInt(id, 10, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawGap || firstID < 0 {
+		t.Fatal("SSE stream ended without a gap frame and a resumed event id")
+	}
+	if firstID != rt.base {
+		t.Fatalf("first post-gap id = %d, want the stream base %d", firstID, rt.base)
+	}
+	// The streamer records its counters on the lane it streams from.
+	if rt.col.Snapshot().Counters["live.sse.dropped"] == 0 {
+		t.Fatal("gap not counted on live.sse.dropped")
+	}
+}

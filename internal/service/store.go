@@ -1,0 +1,284 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/guard"
+	"repro/internal/guard/chaos"
+	"repro/internal/obs"
+)
+
+// journalVersion is bumped only on incompatible journal format changes;
+// like the guard checkpoint, the decoder rejects versions it does not
+// understand instead of guessing.
+const journalVersion = 1
+
+// journalScope tags the journal file so a foreign JSON document dropped
+// in its place is rejected, mirroring the checkpoint scope check.
+const journalScope = "msatpgd:jobs"
+
+// journalFile is the on-disk job journal: the same version+scope+records
+// envelope discipline as guard.CheckpointFile, holding full job records.
+type journalFile struct {
+	Version int    `json:"version"`
+	Scope   string `json:"scope"`
+	NextID  int64  `json:"next_id"`
+	Jobs    []*Job `json:"jobs"`
+}
+
+// Store is the daemon's durable job journal plus the per-job checkpoint
+// files beside it. Every write is atomic (temp file + rename via
+// guard.WriteFileAtomic), so a SIGKILL at any instant leaves either the
+// previous complete journal or the new one — never a truncated hybrid.
+// The in-memory map stays authoritative when the disk misbehaves: a
+// failed persist is counted on service.store.errors and the next
+// successful persist (every mutation rewrites the whole journal) makes
+// the disk current again — a flaky store degrades durability, never the
+// serving path.
+type Store struct {
+	dir  string
+	path string
+	col  *obs.Collector
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // submission order
+	nextID int64
+
+	// frozen simulates process death for tests: once set, persists are
+	// skipped entirely, as if the process had been SIGKILLed before
+	// them.
+	frozen atomic.Bool
+}
+
+// OpenStore opens (or creates) the journal under dir. A journal that
+// fails to decode — truncated, partially written, foreign — is
+// quarantined to jobs.json.corrupt and the store starts fresh, counted
+// on service.store.corrupt: a damaged journal must degrade to a cold
+// daemon, never a crash loop.
+func OpenStore(dir string, col *obs.Collector) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: store dir: %w", err)
+	}
+	s := &Store{
+		dir:  dir,
+		path: filepath.Join(dir, "jobs.json"),
+		col:  col,
+		jobs: map[string]*Job{},
+	}
+	data, err := os.ReadFile(s.path)
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("service: reading journal %s: %w", s.path, err)
+	}
+	f, derr := decodeJournal(data)
+	if derr != nil {
+		var de *guard.DecodeError
+		if errors.As(derr, &de) {
+			s.col.Counter("service.store.corrupt").Inc()
+			if rerr := os.Rename(s.path, s.path+".corrupt"); rerr != nil {
+				return nil, fmt.Errorf("service: quarantining damaged journal: %w", rerr)
+			}
+			return s, nil
+		}
+		return nil, derr
+	}
+	s.nextID = f.NextID
+	for _, j := range f.Jobs {
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+	}
+	return s, nil
+}
+
+// decodeJournal parses and validates a journal document; every failure
+// is a *guard.DecodeError, the same typed contract as the checkpoint
+// decoder, so callers can tell damage (quarantine + fresh) from I/O.
+func decodeJournal(data []byte) (*journalFile, error) {
+	var f journalFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, &guard.DecodeError{Cause: fmt.Errorf("parsing job journal: %w", err)}
+	}
+	if f.Version != journalVersion {
+		return nil, &guard.DecodeError{Cause: fmt.Errorf("unsupported journal version %d (want %d)", f.Version, journalVersion)}
+	}
+	if f.Scope != journalScope {
+		return nil, &guard.DecodeError{Cause: fmt.Errorf("journal scope %q is not %q", f.Scope, journalScope)}
+	}
+	for i, j := range f.Jobs {
+		if j == nil || j.ID == "" {
+			return nil, &guard.DecodeError{Cause: fmt.Errorf("journal job %d has an empty id", i)}
+		}
+		if j.State == "" {
+			return nil, &guard.DecodeError{Cause: fmt.Errorf("journal job %q has an empty state", j.ID)}
+		}
+	}
+	return &f, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Freeze makes every subsequent persist a silent no-op — the test hook
+// that simulates a SIGKILL landing before the next journal write. The
+// in-memory state keeps evolving, exactly like a process whose dirty
+// state dies with it.
+func (s *Store) Freeze() { s.frozen.Store(true) }
+
+// Create allocates the next job id, records the job and persists.
+func (s *Store) Create(ctx context.Context, spec JobSpec) (*Job, error) {
+	s.mu.Lock()
+	s.nextID++
+	j := &Job{
+		ID:          fmt.Sprintf("job-%d", s.nextID),
+		Spec:        spec,
+		State:       StateQueued,
+		SubmittedNs: nowNs(),
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	err := s.persistLocked(ctx)
+	cp := j.clone()
+	s.mu.Unlock()
+	return cp, err
+}
+
+// Get returns a copy of the job, if it exists.
+func (s *Store) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.clone(), true
+}
+
+// List returns copies of every job in submission order.
+func (s *Store) List() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].clone())
+	}
+	return out
+}
+
+// Active counts non-terminal jobs, total and for one tenant — the
+// admission-control figures.
+func (s *Store) Active(tenant string) (total, forTenant int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		if j.State.Terminal() {
+			continue
+		}
+		total++
+		if j.Spec.Tenant == tenant {
+			forTenant++
+		}
+	}
+	return total, forTenant
+}
+
+// Update applies mut to the job under the store lock and persists. The
+// mutation always lands in memory; the returned error reports only the
+// persist, which callers may tolerate (the next persist rewrites the
+// whole journal). The returned job is a post-mutation copy.
+func (s *Store) Update(ctx context.Context, id string, mut func(*Job)) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("service: no job %s", id)
+	}
+	mut(j)
+	err := s.persistLocked(ctx)
+	return j.clone(), err
+}
+
+// Persist rewrites the journal from the current in-memory state.
+func (s *Store) Persist(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.persistLocked(ctx)
+}
+
+// persistLocked writes the journal atomically. The write is a chaos
+// injection site (chaos.SiteServiceStoreWrite), so "the disk failed
+// mid-operation" is deterministically testable; failures are counted
+// and the caller decides how loudly to care.
+func (s *Store) persistLocked(ctx context.Context) error {
+	if s.frozen.Load() {
+		return nil
+	}
+	f := journalFile{Version: journalVersion, Scope: journalScope, NextID: s.nextID}
+	for _, id := range s.order {
+		f.Jobs = append(f.Jobs, s.jobs[id])
+	}
+	err := chaos.Step(ctx, chaos.SiteServiceStoreWrite, "jobs.json")
+	if err == nil {
+		err = guard.WriteFileAtomic(s.path, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", " ")
+			return enc.Encode(&f)
+		})
+	}
+	if err != nil {
+		s.col.Counter("service.store.errors").Inc()
+		return fmt.Errorf("service: persisting journal: %w", err)
+	}
+	s.col.Counter("service.store.writes").Inc()
+	return nil
+}
+
+// CheckpointPath returns where the job's per-fault checkpoint lives.
+func (s *Store) CheckpointPath(id string) string {
+	return filepath.Join(s.dir, id+".ckpt")
+}
+
+// OpenJobCheckpoint opens the job's per-fault checkpoint for the given
+// workload scope. A damaged checkpoint — truncated or partially written
+// by a dying process — is quarantined and replaced with a fresh one
+// (counted on service.ckpt.corrupt): the job recomputes instead of
+// crashing or silently corrupting results. A checkpoint recorded for a
+// different workload scope is treated the same way.
+func (s *Store) OpenJobCheckpoint(id, scope string) (*guard.Checkpoint, error) {
+	path := s.CheckpointPath(id)
+	cp, err := guard.OpenCheckpoint(path, scope)
+	if err == nil {
+		return cp, nil
+	}
+	var de *guard.DecodeError
+	if errors.As(err, &de) || isScopeMismatch(err) {
+		s.col.Counter("service.ckpt.corrupt").Inc()
+		if rerr := os.Rename(path, path+".corrupt"); rerr != nil {
+			return nil, fmt.Errorf("service: quarantining damaged checkpoint: %w", rerr)
+		}
+		return guard.OpenCheckpoint(path, scope)
+	}
+	return nil, err
+}
+
+// isScopeMismatch matches guard.OpenCheckpoint's scope rejection, which
+// is (deliberately) not a decode error: the file is intact, just
+// recorded for another workload. For a per-job checkpoint that means
+// the job spec changed identity — recompute.
+func isScopeMismatch(err error) bool {
+	return err != nil && !os.IsNotExist(err) &&
+		// The scope error is the only OpenCheckpoint failure that is
+		// neither an I/O error (wrapping a *PathError) nor a decode
+		// error; match it structurally rather than by message.
+		!errors.As(err, new(*os.PathError))
+}

@@ -1,0 +1,270 @@
+package service
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/guard"
+	"repro/internal/guard/chaos"
+	"repro/internal/obs"
+)
+
+func TestStoreCreateReopen(t *testing.T) {
+	dir := t.TempDir()
+	col := obs.NewCollector()
+	s, err := OpenStore(dir, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	j1, err := s.Create(ctx, JobSpec{Bench: "INPUT(a)\nOUTPUT(a)\n", Tenant: "t1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := s.Create(ctx, JobSpec{Bench: "INPUT(b)\nOUTPUT(b)\n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1.ID == j2.ID {
+		t.Fatalf("two jobs share id %s", j1.ID)
+	}
+	if j1.State != StateQueued || j1.SubmittedNs == 0 {
+		t.Fatalf("fresh job not queued with a submit time: %+v", j1)
+	}
+
+	// A reopened store sees the same jobs in the same order and keeps
+	// allocating fresh ids.
+	s2, err := OpenStore(dir, obs.NewCollector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := s2.List()
+	if len(jobs) != 2 || jobs[0].ID != j1.ID || jobs[1].ID != j2.ID {
+		t.Fatalf("reopened store lists %+v, want [%s %s]", jobs, j1.ID, j2.ID)
+	}
+	j3, err := s2.Create(ctx, JobSpec{Bench: "INPUT(c)\nOUTPUT(c)\n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j3.ID == j1.ID || j3.ID == j2.ID {
+		t.Fatalf("reopened store reused id %s", j3.ID)
+	}
+
+	total, forTenant := s2.Active("t1")
+	if total != 3 || forTenant != 1 {
+		t.Fatalf("Active = (%d, %d), want (3, 1)", total, forTenant)
+	}
+	if _, err := s2.Update(ctx, j1.ID, func(j *Job) {
+		j.State = StateDone
+		j.FinishedNs = nowNs()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if total, forTenant = s2.Active("t1"); total != 2 || forTenant != 0 {
+		t.Fatalf("Active after terminal = (%d, %d), want (2, 0)", total, forTenant)
+	}
+}
+
+func TestStoreGetReturnsCopies(t *testing.T) {
+	s, err := OpenStore(t.TempDir(), obs.NewCollector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.Create(context.Background(), JobSpec{Bench: "INPUT(a)\nOUTPUT(a)\n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.State = StateFailed // mutating the copy must not reach the store
+	got, ok := s.Get(j.ID)
+	if !ok || got.State != StateQueued {
+		t.Fatalf("store state mutated through a returned copy: %+v", got)
+	}
+}
+
+// TestStoreCorruptJournalQuarantine: a damaged journal must degrade to a
+// cold daemon (fresh store + quarantined file + counter), never a crash
+// loop or a half-loaded job table.
+func TestStoreCorruptJournalQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	for _, body := range []string{
+		"{",                     // truncated JSON
+		"\x00\x01\x02",          // binary garbage
+		`{"version":99}` + "\n", // future version
+		`{"version":1,"scope":"something-else","next_id":1}`,       // foreign scope
+		`{"version":1,"scope":"msatpgd:jobs","jobs":[{"id":""}]}`,  // empty id
+		`{"version":1,"scope":"msatpgd:jobs","jobs":[{"id":"x"}]}`, // empty state
+	} {
+		if err := os.WriteFile(filepath.Join(dir, "jobs.json"), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		col := obs.NewCollector()
+		s, err := OpenStore(dir, col)
+		if err != nil {
+			t.Fatalf("OpenStore on damaged journal %q: %v", body, err)
+		}
+		if n := len(s.List()); n != 0 {
+			t.Fatalf("damaged journal %q loaded %d jobs", body, n)
+		}
+		if got := col.Snapshot().Counters["service.store.corrupt"]; got != 1 {
+			t.Fatalf("service.store.corrupt = %d, want 1", got)
+		}
+		if _, err := os.Stat(filepath.Join(dir, "jobs.json.corrupt")); err != nil {
+			t.Fatalf("damaged journal was not quarantined: %v", err)
+		}
+		os.Remove(filepath.Join(dir, "jobs.json.corrupt"))
+	}
+}
+
+// TestStoreChaosWriteDegrades: an injected store-write failure (full or
+// failing disk) is counted and reported, but the in-memory state stays
+// authoritative and the next clean persist makes the disk current.
+func TestStoreChaosWriteDegrades(t *testing.T) {
+	dir := t.TempDir()
+	col := obs.NewCollector()
+	s, err := OpenStore(dir, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := chaos.New(1, 1, chaos.WithAction(chaos.Error), chaos.AtSites(chaos.SiteServiceStoreWrite))
+	badCtx := chaos.Into(context.Background(), inj)
+
+	j, err := s.Create(badCtx, JobSpec{Bench: "INPUT(a)\nOUTPUT(a)\n"})
+	if err == nil {
+		t.Fatal("Create under a failing disk reported no persist error")
+	}
+	if j == nil || j.ID == "" {
+		t.Fatal("Create under a failing disk lost the in-memory job")
+	}
+	if got, ok := s.Get(j.ID); !ok || got.State != StateQueued {
+		t.Fatalf("in-memory state not authoritative after persist failure: %+v, %v", got, ok)
+	}
+	snap := col.Snapshot()
+	if snap.Counters["service.store.errors"] == 0 {
+		t.Fatal("failed persist not counted on service.store.errors")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "jobs.json")); !os.IsNotExist(err) {
+		t.Fatalf("failing write left a journal on disk: %v", err)
+	}
+
+	// The next persist on a healthy context rewrites the whole journal.
+	if err := s.Persist(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStore(dir, obs.NewCollector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s2.Get(j.ID); !ok || got.State != StateQueued {
+		t.Fatalf("recovered journal missing the job: %+v, %v", got, ok)
+	}
+}
+
+func TestStoreFreezeDropsPersists(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, obs.NewCollector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	j, err := s.Create(ctx, JobSpec{Bench: "INPUT(a)\nOUTPUT(a)\n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Freeze()
+	if _, err := s.Update(ctx, j.ID, func(j *Job) { j.State = StateDone }); err != nil {
+		t.Fatal(err)
+	}
+	// Memory moved on; disk did not — exactly a SIGKILL before the write.
+	s2, err := OpenStore(dir, obs.NewCollector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(j.ID)
+	if !ok || got.State != StateQueued {
+		t.Fatalf("frozen store leaked a persist: %+v, %v", got, ok)
+	}
+}
+
+// TestOpenJobCheckpointQuarantine: damaged or foreign-scope per-job
+// checkpoints are quarantined and replaced with a fresh one, so the job
+// recomputes instead of crashing or silently misapplying records.
+func TestOpenJobCheckpointQuarantine(t *testing.T) {
+	col := obs.NewCollector()
+	s, err := OpenStore(t.TempDir(), col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Damage: garbage bytes.
+	path := s.CheckpointPath("job-1")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := s.OpenJobCheckpoint("job-1", "scope-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Len() != 0 {
+		t.Fatalf("checkpoint from garbage has %d records", cp.Len())
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("damaged checkpoint not quarantined: %v", err)
+	}
+
+	// Scope mismatch: an intact checkpoint recorded for another workload.
+	real, err := guard.OpenCheckpoint(path, "scope-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := real.Put(guard.Record{Key: "k", Outcome: "tested"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := real.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cp, err = s.OpenJobCheckpoint("job-1", "scope-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Len() != 0 {
+		t.Fatalf("foreign-scope checkpoint was not replaced: %d records", cp.Len())
+	}
+	if got := col.Snapshot().Counters["service.ckpt.corrupt"]; got != 2 {
+		t.Fatalf("service.ckpt.corrupt = %d, want 2", got)
+	}
+
+	// A matching checkpoint is resumed intact.
+	clean, err := guard.OpenCheckpoint(path, "scope-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean.Put(guard.Record{Key: "k2", Outcome: "tested"})
+	if err := clean.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cp, err = s.OpenJobCheckpoint("job-1", "scope-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Len() != 1 {
+		t.Fatalf("matching checkpoint not resumed: %d records", cp.Len())
+	}
+}
+
+func TestJobSpecScope(t *testing.T) {
+	a := JobSpec{Bench: "INPUT(a)\nOUTPUT(a)\n"}
+	b := JobSpec{Bench: "INPUT(b)\nOUTPUT(b)\n"}
+	if a.Scope() == b.Scope() {
+		t.Fatal("different bench netlists share a checkpoint scope")
+	}
+	if !strings.HasPrefix(a.Scope(), "msatpgd:bench:") {
+		t.Fatalf("bench scope %q missing prefix", a.Scope())
+	}
+	c1 := JobSpec{Circuit: "chebyshev", Digital: "c432", Workers: 2}
+	c2 := JobSpec{Circuit: "chebyshev", Digital: "c432", Workers: 7}
+	if c1.Scope() != c2.Scope() {
+		t.Fatal("worker count leaked into the checkpoint scope (resume must re-partition freely)")
+	}
+}
