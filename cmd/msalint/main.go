@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/lint"
 )
@@ -34,14 +35,19 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text lines")
 	dir := fs.String("C", "", "change to `dir` before resolving package patterns")
+	checksFlag := fs.String("checks", "", "comma-separated `names` of checks to run (default: all)")
+	list := fs.Bool("list", false, "list the registered checks and exit")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, `usage: msalint [-json] [-C dir] [packages...]
+		fmt.Fprintf(stderr, `usage: msalint [-json] [-C dir] [-checks names] [-list] [packages...]
 
-Runs the project invariant checks over the packages (default ./...):
+Runs the project invariant checks over the packages (default ./...).
+Packages load and analyze in parallel, bounded by GOMAXPROCS; output
+order and content are identical to a serial run. -checks narrows the
+suite to a comma-separated subset; -list prints the registry:
 
 `)
 		for _, c := range lint.Checks() {
-			fmt.Fprintf(stderr, "  %-10s %s\n", c.Name(), c.Doc())
+			fmt.Fprintf(stderr, "  %-12s %s\n", c.Name(), c.Doc())
 		}
 		fmt.Fprintf(stderr, `
 A finding can be waived — with a mandatory reason, on the same line or
@@ -60,12 +66,34 @@ keep exiting %d (the suite's own acceptance check).
 		return exitError
 	}
 
+	if *list {
+		for _, c := range lint.Checks() {
+			fmt.Fprintf(stdout, "%-12s %s\n", c.Name(), c.Doc())
+		}
+		return exitClean
+	}
+
+	checks := lint.Checks()
+	if *checksFlag != "" {
+		var names []string
+		for _, name := range strings.Split(*checksFlag, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				names = append(names, name)
+			}
+		}
+		var err error
+		if checks, err = lint.SelectChecks(names); err != nil {
+			fmt.Fprintln(stderr, err)
+			return exitError
+		}
+	}
+
 	pkgs, err := lint.Load(*dir, fs.Args()...)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return exitError
 	}
-	findings := lint.Run(pkgs, lint.Checks())
+	findings := lint.Run(pkgs, checks)
 
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)

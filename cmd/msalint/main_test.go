@@ -17,13 +17,73 @@ func TestFixturesExitFindings(t *testing.T) {
 		"../../internal/lint/testdata/src/mnaerr",
 		"../../internal/lint/testdata/src/chaossite",
 		"../../internal/lint/testdata/src/nopanic",
+		"../../internal/lint/testdata/src/maporder",
+		"../../internal/lint/testdata/src/rngsource",
+		"../../internal/lint/testdata/src/atomicwrite",
+		"../../internal/lint/testdata/src/goleak",
+		"../../internal/lint/testdata/src/lockheld",
 	}, &stdout, &stderr)
 	if code != exitFindings {
 		t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", code, exitFindings, &stdout, &stderr)
 	}
-	for _, check := range []string{"ctxflow", "spanend", "mnaerr", "chaossite", "nopanic"} {
+	for _, check := range []string{
+		"ctxflow", "spanend", "mnaerr", "chaossite", "nopanic",
+		"maporder", "rngsource", "atomicwrite", "goleak", "lockheld",
+	} {
 		if !strings.Contains(stdout.String(), ": "+check+": ") {
 			t.Errorf("no %s finding in fixture output:\n%s", check, &stdout)
+		}
+	}
+}
+
+// TestChecksFlagSelects pins -checks: only the named checks run, so the
+// maporder fixture is silent when only rngsource is selected, and loud
+// when maporder is.
+func TestChecksFlagSelects(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{"-checks", "rngsource",
+		"../../internal/lint/testdata/src/maporder"}, &stdout, &stderr)
+	if code != exitClean {
+		t.Fatalf("-checks rngsource over maporder fixture: exit = %d, want %d\nstdout:\n%s", code, exitClean, &stdout)
+	}
+	stdout.Reset()
+	code = realMain([]string{"-checks", "maporder,rngsource",
+		"../../internal/lint/testdata/src/maporder"}, &stdout, &stderr)
+	if code != exitFindings {
+		t.Fatalf("-checks maporder over maporder fixture: exit = %d, want %d", code, exitFindings)
+	}
+	if !strings.Contains(stdout.String(), ": maporder: ") {
+		t.Errorf("no maporder finding in selected-check output:\n%s", &stdout)
+	}
+}
+
+// TestChecksFlagUnknownName pins exit 2 with a registry listing for a
+// bad -checks value.
+func TestChecksFlagUnknownName(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{"-checks", "nosuchcheck",
+		"../../internal/lint/testdata/src/clean"}, &stdout, &stderr)
+	if code != exitError {
+		t.Fatalf("exit = %d, want %d", code, exitError)
+	}
+	if !strings.Contains(stderr.String(), "unknown check") || !strings.Contains(stderr.String(), "maporder") {
+		t.Errorf("unknown-check diagnostic should list the registry:\n%s", &stderr)
+	}
+}
+
+// TestListFlag pins -list: every registered check on stdout, exit 0.
+func TestListFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{"-list"}, &stdout, &stderr)
+	if code != exitClean {
+		t.Fatalf("-list exit = %d, want %d", code, exitClean)
+	}
+	for _, check := range []string{
+		"ctxflow", "spanend", "mnaerr", "chaossite", "nopanic",
+		"maporder", "rngsource", "atomicwrite", "goleak", "lockheld",
+	} {
+		if !strings.Contains(stdout.String(), check) {
+			t.Errorf("-list does not mention %q:\n%s", check, &stdout)
 		}
 	}
 }
@@ -83,7 +143,11 @@ func TestUsageMentionsChecksAndExitCodes(t *testing.T) {
 	if code != exitError {
 		t.Fatalf("-h exit = %d, want %d", code, exitError)
 	}
-	for _, want := range []string{"ctxflow", "spanend", "mnaerr", "chaossite", "nopanic", "lint:allow", "Exit codes"} {
+	for _, want := range []string{
+		"ctxflow", "spanend", "mnaerr", "chaossite", "nopanic",
+		"maporder", "rngsource", "atomicwrite", "goleak", "lockheld",
+		"-checks", "-list", "lint:allow", "Exit codes",
+	} {
 		if !strings.Contains(stderr.String(), want) {
 			t.Errorf("-h text does not mention %q", want)
 		}

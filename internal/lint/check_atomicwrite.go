@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"os"
+)
+
+// atomicwrite protects the crash-safety contract of the durable state
+// layer: the service journal, per-job checkpoints and every other file a
+// restarted process reads back must be written via
+// guard.WriteFileAtomic (temp file + fsync-free rename), so a SIGKILL at
+// any instant leaves either the old complete file or the new one — never
+// a truncated hybrid that the corrupt-quarantine path then has to eat.
+//
+// The check flags direct os.WriteFile / os.Create calls, and os.OpenFile
+// opened for writing, in internal/ non-test code. os.CreateTemp is
+// exempt — a temp file plus os.Rename is precisely the idiom
+// WriteFileAtomic is built from, and quarantine renames are fine.
+// Read-only os.OpenFile (O_RDONLY) is untouched.
+type atomicwrite struct{}
+
+func newAtomicwrite() Check { return &atomicwrite{} }
+
+func (*atomicwrite) Name() string { return "atomicwrite" }
+func (*atomicwrite) Doc() string {
+	return "durable-state files in internal/ must be written via guard.WriteFileAtomic, not direct os writes"
+}
+
+func (c *atomicwrite) Run(p *Package) []Finding {
+	if !isInternalPackage(p.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case p.calleeIn(call, "os", "WriteFile", "Create"):
+				out = append(out, p.finding(c.Name(), call.Pos(),
+					"direct os.%s can leave a truncated file after a crash; write durable state with guard.WriteFileAtomic (or os.CreateTemp + os.Rename)",
+					p.calleeFunc(call).Name()))
+			case p.calleeIn(call, "os", "OpenFile") && c.opensForWrite(p, call):
+				out = append(out, p.finding(c.Name(), call.Pos(),
+					"os.OpenFile for writing can leave a partial file after a crash; write durable state with guard.WriteFileAtomic"))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// opensForWrite reports whether the os.OpenFile call's flag argument
+// permits writing. A non-constant flag cannot be proven read-only, so it
+// counts as a write (//lint:allow with the reason is the override).
+func (c *atomicwrite) opensForWrite(p *Package, call *ast.CallExpr) bool {
+	if len(call.Args) < 2 {
+		return false
+	}
+	tv, ok := p.Info.Types[call.Args[1]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return true
+	}
+	flags, ok := constant.Int64Val(tv.Value)
+	if !ok {
+		return true
+	}
+	const writeMask = int64(os.O_WRONLY | os.O_RDWR | os.O_APPEND | os.O_CREATE | os.O_TRUNC)
+	return flags&writeMask != 0
+}

@@ -5,6 +5,7 @@ import (
 	"go/constant"
 	"go/token"
 	"go/types"
+	"sort"
 	"strings"
 )
 
@@ -153,12 +154,17 @@ func (c *chaossite) Finish() []Finding {
 	if !c.registrySeen || !c.sawInjections {
 		return nil
 	}
+	sites := make([]string, 0, len(c.registry))
+	for site := range c.registry {
+		sites = append(sites, site)
+	}
+	sort.Strings(sites)
 	var out []Finding
-	for site, pos := range c.registry {
+	for _, site := range sites {
 		if c.usedSites[site] {
 			continue
 		}
-		position := c.registryFset.Position(pos)
+		position := c.registryFset.Position(c.registry[site])
 		out = append(out, Finding{
 			Check: c.Name(),
 			File:  position.Filename,

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// goleak enforces joinability: every goroutine launched in internal/
+// code must be collectable — the sharded ATPG lanes, the SSE writers and
+// the daemon's background loops all have to quiesce before a collector
+// merge, a drain or a checkpoint, and a fire-and-forget `go func` is the
+// one shape that cannot be waited for. The check accepts a goroutine as
+// joinable when the go statement (callee, arguments or literal body)
+// shows any of the standard kinds of evidence:
+//
+//   - a sync.WaitGroup in scope (wg.Done() in the body, or &wg passed in);
+//   - a channel the goroutine sends on, closes, or receives from —
+//     a join point the spawner can select on;
+//   - a context.Context binding, tying the goroutine's lifetime to a
+//     cancelable tree (the Serve(ctx)/sampler.Run(ctx) pattern).
+//
+// This is evidence-based, intra-procedural and deliberately cheap: a
+// goroutine whose join lives behind a helper type earns a reviewed
+// //lint:allow goleak <reason> instead.
+type goleak struct{}
+
+func newGoleak() Check { return &goleak{} }
+
+func (*goleak) Name() string { return "goleak" }
+func (*goleak) Doc() string {
+	return "no fire-and-forget goroutines in internal/ code: join via WaitGroup, channel, or context"
+}
+
+func (c *goleak) Run(p *Package) []Finding {
+	if !isInternalPackage(p.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !c.joinable(p, g) {
+				out = append(out, p.finding(c.Name(), g.Pos(),
+					"fire-and-forget goroutine: no WaitGroup, channel join, or context binding in sight — it cannot be collected at shutdown"))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// joinable looks for join evidence anywhere under the go statement:
+// an identifier typed as sync.WaitGroup, a channel, or context.Context.
+func (c *goleak) joinable(p *Package, g *ast.GoStmt) bool {
+	return p.refsType(g, func(t types.Type) bool {
+		if isNamedIn(t, "sync", "WaitGroup") || isContextType(t) {
+			return true
+		}
+		_, isChan := t.Underlying().(*types.Chan)
+		return isChan
+	})
+}

@@ -1,0 +1,293 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// lockheld keeps critical sections convoy-free: blocking work — channel
+// sends and receives, file and network I/O, subprocesses, sleeps,
+// http.ResponseWriter writes — must not happen while a sync.Mutex or
+// RWMutex is held. One slow client or one stalled disk write under the
+// service scheduler's or the SSE fan-out's lock turns every other
+// goroutine into a queue behind it; the house style is "copy under the
+// lock, do the slow thing after Unlock", as Store.List and
+// Daemon.syncEventSeqs do.
+//
+// The analysis is positional and intra-procedural: a region starts at a
+// mu.Lock()/RLock() statement and ends at the first matching
+// Unlock()/RUnlock() on the same variable (or at function end when the
+// unlock is deferred), and blocking operations inside the region are
+// flagged. Nested function literals are not scanned — they usually run
+// on another goroutine after the lock is gone — and a non-blocking
+// select with a default case is allowed (the kick/wake idiom).
+type lockheld struct{}
+
+func newLockheld() Check { return &lockheld{} }
+
+func (*lockheld) Name() string { return "lockheld" }
+func (*lockheld) Doc() string {
+	return "no channel ops, file/network I/O, or response writes while a sync mutex is held"
+}
+
+func (c *lockheld) Run(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		forEachFunc(file, func(fn funcNode) {
+			for _, reg := range c.lockRegions(p, fn) {
+				c.checkRegion(p, fn, reg, &out)
+			}
+		})
+	}
+	return out
+}
+
+// lockRegion is one held interval of one mutex within one function.
+type lockRegion struct {
+	obj        types.Object // the mutex variable or field
+	desc       string       // rendered receiver, for messages
+	lockLine   int
+	start, end token.Pos
+}
+
+// mutexMethod resolves a call to a sync.Mutex/RWMutex method and the
+// object of the mutex it is invoked on. Promoted methods on types that
+// embed a mutex resolve the same way (the selection still lands on the
+// sync method); the base object is then the embedding value, which is
+// exactly the granularity the positional matching needs.
+func (c *lockheld) mutexMethod(p *Package, call *ast.CallExpr) (name string, obj types.Object, desc string) {
+	f := p.calleeFunc(call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return "", nil, ""
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", nil, ""
+	}
+	if !isNamedIn(sig.Recv().Type(), "sync", "Mutex") && !isNamedIn(sig.Recv().Type(), "sync", "RWMutex") {
+		return "", nil, ""
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", nil, ""
+	}
+	return f.Name(), p.baseObj(sel.X), types.ExprString(sel.X)
+}
+
+// lockRegions computes the held intervals of fn's own body. Shallow by
+// design: a Lock inside a nested literal belongs to that literal's
+// analysis pass (forEachFunc visits it separately).
+func (c *lockheld) lockRegions(p *Package, fn funcNode) []lockRegion {
+	type event struct {
+		name     string
+		obj      types.Object
+		desc     string
+		pos      token.Pos
+		deferred bool
+	}
+	var events []event
+	inspectShallow(fn.body, func(n ast.Node) bool {
+		var call *ast.CallExpr
+		deferred := false
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			call, deferred = n.Call, true
+		case *ast.ExprStmt:
+			call, _ = unparen(n.X).(*ast.CallExpr)
+		}
+		if call == nil {
+			return true
+		}
+		if name, obj, desc := c.mutexMethod(p, call); name != "" && obj != nil {
+			events = append(events, event{name: name, obj: obj, desc: desc, pos: call.Pos(), deferred: deferred})
+		}
+		return true
+	})
+
+	var regions []lockRegion
+	for i, ev := range events {
+		if ev.deferred || (ev.name != "Lock" && ev.name != "RLock") {
+			continue
+		}
+		end := fn.body.End() // no unlock in sight: held to function end
+		for _, un := range events[i+1:] {
+			if un.obj != ev.obj || (un.name != "Unlock" && un.name != "RUnlock") {
+				continue
+			}
+			if un.deferred {
+				break // deferred unlock: held until the function returns
+			}
+			end = un.pos
+			break
+		}
+		regions = append(regions, lockRegion{
+			obj:      ev.obj,
+			desc:     ev.desc,
+			lockLine: p.Fset.Position(ev.pos).Line,
+			start:    ev.pos,
+			end:      end,
+		})
+	}
+	return regions
+}
+
+// checkRegion flags the blocking operations positioned inside reg. A
+// select's own comm clauses are judged through the select (one finding
+// when it can block, none when a default case makes it non-blocking),
+// while the clause bodies are scanned like any other statements.
+func (c *lockheld) checkRegion(p *Package, fn funcNode, reg lockRegion, out *[]Finding) {
+	flag := func(pos token.Pos, what string) {
+		*out = append(*out, p.finding(c.Name(), pos,
+			"%s while %s is held (locked at line %d); move it outside the critical section",
+			what, reg.desc, reg.lockLine))
+	}
+	exemptComm := map[ast.Node]bool{}
+	inspectShallow(fn.body, func(n ast.Node) bool {
+		inRegion := n.Pos() > reg.start && n.Pos() < reg.end
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			// The comm operations belong to the select, not to the
+			// surrounding flow; judge them here and exempt them below.
+			blocking := true
+			for _, cl := range n.Body.List {
+				comm, ok := cl.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if comm.Comm == nil {
+					blocking = false // default case: the kick/wake idiom
+					continue
+				}
+				ast.Inspect(comm.Comm, func(cn ast.Node) bool {
+					switch cn := cn.(type) {
+					case *ast.SendStmt:
+						exemptComm[cn] = true
+					case *ast.UnaryExpr:
+						if cn.Op == token.ARROW {
+							exemptComm[cn] = true
+						}
+					}
+					return true
+				})
+			}
+			if inRegion && blocking {
+				flag(n.Pos(), "blocking select")
+			}
+		case *ast.SendStmt:
+			if inRegion && !exemptComm[n] {
+				flag(n.Pos(), "channel send")
+			}
+		case *ast.UnaryExpr:
+			if inRegion && n.Op == token.ARROW && !exemptComm[n] {
+				flag(n.Pos(), "channel receive")
+			}
+		case *ast.CallExpr:
+			if inRegion {
+				if what, ok := c.blockingCall(p, n); ok {
+					flag(n.Pos(), what)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// blockingCall classifies direct calls that block on the outside world.
+func (c *lockheld) blockingCall(p *Package, call *ast.CallExpr) (string, bool) {
+	f := p.calleeFunc(call)
+	if f == nil || f.Pkg() == nil {
+		return "", false
+	}
+	switch f.Pkg().Path() {
+	case "os":
+		switch f.Name() {
+		case "Open", "OpenFile", "Create", "CreateTemp", "ReadFile", "WriteFile",
+			"Remove", "RemoveAll", "Rename", "Mkdir", "MkdirAll", "MkdirTemp",
+			"ReadDir", "Stat", "Lstat", "Truncate", "Chmod", "Symlink", "Link":
+			return "file I/O (os." + f.Name() + ")", true
+		}
+		if recv := p.recvType(call); recv != nil && isNamedIn(recv, "os", "File") {
+			return "file I/O (os.File." + f.Name() + ")", true
+		}
+	case "net":
+		if hasAnyPrefix(f.Name(), "Dial", "Listen", "Lookup", "Resolve", "File") {
+			return "network I/O (net." + f.Name() + ")", true
+		}
+		if recv := p.recvType(call); recv != nil && netConnLike(recv) {
+			return "network I/O (net " + f.Name() + ")", true
+		}
+	case "net/http":
+		switch f.Name() {
+		case "Do", "Get", "Post", "PostForm", "Head",
+			"ListenAndServe", "ListenAndServeTLS", "Serve", "ServeTLS",
+			"ServeHTTP", "ReadRequest", "ReadResponse", "Shutdown":
+			return "HTTP I/O (http." + f.Name() + ")", true
+		}
+	case "os/exec":
+		switch f.Name() {
+		case "Run", "Start", "Wait", "Output", "CombinedOutput", "LookPath":
+			return "subprocess (exec." + f.Name() + ")", true
+		}
+	case "time":
+		if f.Name() == "Sleep" {
+			return "time.Sleep", true
+		}
+	case "fmt":
+		switch f.Name() {
+		case "Fprint", "Fprintf", "Fprintln":
+			if len(call.Args) > 0 && c.blockingWriterExpr(p, call.Args[0]) {
+				return "fmt." + f.Name() + " to a connection-backed writer", true
+			}
+		}
+	}
+	if pkgPathHasSuffix(f.Pkg(), "internal/guard") && f.Name() == "WriteFileAtomic" {
+		return "durable file write (guard.WriteFileAtomic)", true
+	}
+	if recv := p.recvType(call); recv != nil && c.blockingWriter(recv) &&
+		(f.Name() == "Write" || f.Name() == "WriteString" || f.Name() == "WriteHeader" || f.Name() == "Flush") {
+		return "response/connection write (" + f.Name() + ")", true
+	}
+	return "", false
+}
+
+// hasAnyPrefix reports whether s starts with any of the prefixes.
+func hasAnyPrefix(s string, prefixes ...string) bool {
+	for _, pre := range prefixes {
+		if strings.HasPrefix(s, pre) {
+			return true
+		}
+	}
+	return false
+}
+
+// netConnLike matches the net receivers whose methods touch the wire —
+// conns, listeners and the resolver — as opposed to the pure value types
+// (net.IP, net.HardwareAddr, ...).
+func netConnLike(t types.Type) bool {
+	for _, name := range []string{"Conn", "TCPConn", "UDPConn", "UnixConn", "IPConn",
+		"Listener", "TCPListener", "UnixListener", "PacketConn", "Resolver", "Dialer", "ListenConfig"} {
+		if isNamedIn(t, "net", name) {
+			return true
+		}
+	}
+	return false
+}
+
+// blockingWriterExpr reports whether the expression's static type is a
+// connection-backed writer (the bytes.Buffer/strings.Builder shapes that
+// only grow memory are deliberately not matched).
+func (c *lockheld) blockingWriterExpr(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return c.blockingWriter(tv.Type)
+}
+
+func (c *lockheld) blockingWriter(t types.Type) bool {
+	return isNamedIn(t, "net/http", "ResponseWriter") ||
+		isNamedIn(t, "net", "Conn") ||
+		isNamedIn(t, "os", "File")
+}

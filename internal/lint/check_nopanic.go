@@ -32,7 +32,7 @@ func (*nopanic) Doc() string {
 
 func (c *nopanic) Run(p *Package) []Finding {
 	path := p.Path
-	if !strings.Contains(path+"/", "/internal/") && !strings.HasPrefix(path, "internal/") {
+	if !isInternalPackage(path) {
 		return nil
 	}
 	if pkgPathHasSuffix(p.Types, "internal/guard") || strings.Contains(path, "internal/guard/") {

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// rngsource keeps randomness injectable and reproducible: canonical
+// classifications must be byte-identical across runs, so every random
+// draw in internal/ non-test code has to come from a run-local
+// *rand.Rand built from an injected seed (the atpg.WithRandomPhase
+// pattern — rand.New(rand.NewSource(seed))). Two shapes break that
+// contract:
+//
+//   - the package-global math/rand top-level functions (rand.Intn,
+//     rand.Float64, rand.Shuffle, rand.Seed, ...): process-shared state,
+//     cross-goroutine interleaving, unseedable per run;
+//   - time-seeded sources (rand.NewSource(time.Now().UnixNano())):
+//     a fresh sequence every run by construction.
+//
+// Methods on a *rand.Rand value are the approved surface and are never
+// flagged; the constructors New/NewSource/NewZipf are fine as long as
+// the seed does not come from the clock.
+type rngsource struct{}
+
+func newRngsource() Check { return &rngsource{} }
+
+func (*rngsource) Name() string { return "rngsource" }
+func (*rngsource) Doc() string {
+	return "no global math/rand functions or time-seeded sources in internal/ code; inject a run-local seeded rng"
+}
+
+// randPkgs are the math/rand generations; both have process-global
+// top-level functions.
+var randPkgs = []string{"math/rand", "math/rand/v2"}
+
+func (c *rngsource) Run(p *Package) []Finding {
+	if !isInternalPackage(p.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, pkg := range randPkgs {
+				c.checkCall(p, pkg, call, &out)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func (c *rngsource) checkCall(p *Package, randPkg string, call *ast.CallExpr, out *[]Finding) {
+	if !p.calleeIn(call, randPkg) {
+		return
+	}
+	f := p.calleeFunc(call)
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return // a method on a run-local *rand.Rand / Source: the approved surface
+	}
+	switch f.Name() {
+	case "New", "NewSource", "NewZipf":
+		// Constructors are the fix, not the bug — unless the seed is the
+		// clock. Nested rand constructor calls are charged to the
+		// innermost constructor, so a time-seeded
+		// rand.New(rand.NewSource(time.Now().UnixNano())) reports once.
+		for _, a := range call.Args {
+			if p.containsCallOutsidePkg(a, "time", "Now", randPkg) {
+				*out = append(*out, p.finding(c.Name(), a.Pos(),
+					"time-seeded %s.%s makes every run draw a different sequence; thread an injected seed instead", randPkg, f.Name()))
+			}
+		}
+	default:
+		*out = append(*out, p.finding(c.Name(), call.Pos(),
+			"global %s.%s uses process-shared nondeterministic state; draw from an injected run-local *rand.Rand (rand.New(rand.NewSource(seed)))", randPkg, f.Name()))
+	}
+}

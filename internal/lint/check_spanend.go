@@ -167,17 +167,10 @@ func (c *spanend) checkFunc(p *Package, fn funcNode, out *[]Finding) {
 		// Deferred End calls found inside nested literals count as plain
 		// calls above; now look for an early return of the enclosing
 		// function between the start and the first End.
-		inspectShallow(fn.body, func(n ast.Node) bool {
-			ret, ok := n.(*ast.ReturnStmt)
-			if !ok {
-				return true
-			}
-			if ret.Pos() > sp.assignPos.Pos() && ret.End() < firstEnd.Pos() {
-				*out = append(*out, p.finding(c.Name(), ret.Pos(),
-					"return leaks the span started at line %d; End() it on this path or use defer ….End()",
-					p.Fset.Position(sp.assignPos.Pos()).Line))
-			}
-			return true
+		eachReturnBetween(fn, sp.assignPos.Pos(), firstEnd.Pos(), func(ret *ast.ReturnStmt) {
+			*out = append(*out, p.finding(c.Name(), ret.Pos(),
+				"return leaks the span started at line %d; End() it on this path or use defer ….End()",
+				p.Fset.Position(sp.assignPos.Pos()).Line))
 		})
 	}
 }

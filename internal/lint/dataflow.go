@@ -1,0 +1,200 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file is the shared intra-procedural dataflow/inspector layer the
+// determinism and concurrency checks are built on. It generalizes the
+// reachability walking check_spanend.go originally did ad hoc: resolving
+// callees to (package, name), classifying expressions by type, tracking
+// a variable from a definition site to later uses (is this slice sorted
+// after the loop? is this return reachable before the End?), and
+// scanning a region of a function body in source order without falling
+// into nested function literals. Every helper is intra-procedural by
+// design — the checks trade whole-program precision for zero
+// dependencies and lint-time speed, and the //lint:allow directive is
+// the escape hatch for the shapes they cannot see through.
+
+// calleeIn reports whether call invokes a function of the package whose
+// path is pkgPath (exact for stdlib paths like "os", suffix-matched for
+// module-internal paths like "internal/guard") named one of names.
+// With no names, any function of the package matches.
+func (p *Package) calleeIn(call *ast.CallExpr, pkgPath string, names ...string) bool {
+	f := p.calleeFunc(call)
+	if f == nil || f.Pkg() == nil || !pkgPathHasSuffix(f.Pkg(), pkgPath) {
+		return false
+	}
+	if len(names) == 0 {
+		return true
+	}
+	for _, n := range names {
+		if f.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// recvType returns the static type of the receiver expression of a
+// method call (the X in X.M(...)), or nil for plain function calls.
+func (p *Package) recvType(call *ast.CallExpr) types.Type {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if _, isSel := p.Info.Selections[sel]; !isSel {
+		return nil // package-qualified call, not a method
+	}
+	tv, ok := p.Info.Types[sel.X]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+// isMapExpr reports whether the expression's static type is a map.
+func (p *Package) isMapExpr(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// baseObj resolves an expression to the object of its base identifier:
+// the x in x, x.f, x[i], x[i:j], and parenthesizations thereof. This is
+// the coarse alias question the dataflow checks ask — "is this the same
+// variable?" — not full points-to analysis.
+func (p *Package) baseObj(e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			return p.objectOf(x.Sel)
+		case *ast.Ident:
+			return p.objectOf(x)
+		default:
+			return nil
+		}
+	}
+}
+
+// sortNames are the standard sorting entry points that establish a
+// deterministic order over a slice: the sort package plus the generic
+// slices package (both in the allowed stdlib surface).
+func isSortCall(p *Package, call *ast.CallExpr) bool {
+	f := p.calleeFunc(call)
+	if f == nil || f.Pkg() == nil {
+		return false
+	}
+	switch f.Pkg().Path() {
+	case "sort":
+		switch f.Name() {
+		case "Sort", "Stable", "Slice", "SliceStable", "Strings", "Ints", "Float64s":
+			return true
+		}
+	case "slices":
+		switch f.Name() {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}
+
+// sortedAfter reports whether obj (a slice variable) is passed to a
+// sorting function somewhere in fn after pos — the "collect under the
+// map range, sort before use" idiom that makes map iteration order
+// irrelevant.
+func (p *Package) sortedAfter(fn funcNode, obj types.Object, pos token.Pos) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	inspectShallow(fn.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || !isSortCall(p, call) {
+			return !found
+		}
+		for _, a := range call.Args {
+			if p.baseObj(a) == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// eachReturnBetween visits every return statement of fn's own body (not
+// of nested literals) positioned strictly inside (from, to) — the
+// reachability question "can control escape this function between these
+// two program points".
+func eachReturnBetween(fn funcNode, from, to token.Pos, visit func(*ast.ReturnStmt)) {
+	inspectShallow(fn.body, func(n ast.Node) bool {
+		if ret, ok := n.(*ast.ReturnStmt); ok && ret.Pos() > from && ret.End() < to {
+			visit(ret)
+		}
+		return true
+	})
+}
+
+// refsType reports whether any identifier under n resolves to an object
+// whose type satisfies pred. Pointer indirection is the predicate's
+// concern; this walker only resolves names.
+func (p *Package) refsType(n ast.Node, pred func(types.Type) bool) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return !found
+		}
+		if obj := p.objectOf(id); obj != nil && obj.Type() != nil && pred(obj.Type()) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// containsCallOutsidePkg reports whether e contains a call to
+// pkgPath.name, without descending into calls belonging to stopPkg —
+// so rand.New(rand.NewSource(...)) charges a time.Now() seed to the
+// innermost rand constructor only.
+func (p *Package) containsCallOutsidePkg(e ast.Expr, pkgPath, name, stopPkg string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if p.calleeIn(call, pkgPath, name) {
+			found = true
+			return false
+		}
+		if stopPkg != "" && p.calleeIn(call, stopPkg) {
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// isInternalPackage reports whether the import path names one of the
+// repository's internal packages — the scope of the policy checks
+// (nopanic, rngsource, atomicwrite, goleak). The lint fixtures under
+// internal/lint/testdata/src qualify, which is what lets each policy
+// check demonstrate itself.
+func isInternalPackage(path string) bool {
+	return strings.Contains(path+"/", "/internal/") || strings.HasPrefix(path, "internal/")
+}

@@ -3,7 +3,10 @@ package lint
 import (
 	"fmt"
 	"go/token"
+	"runtime"
 	"sort"
+	"strings"
+	"sync"
 )
 
 // Finding is one rule violation at one position.
@@ -49,7 +52,36 @@ func Checks() []Check {
 		newMnaerr(),
 		newChaossite(),
 		newNopanic(),
+		newMaporder(),
+		newRngsource(),
+		newAtomicwrite(),
+		newGoleak(),
+		newLockheld(),
 	}
+}
+
+// SelectChecks returns fresh instances of just the named checks (the
+// msalint -checks flag). Unknown names are an error listing the
+// registry, mirroring the unknown-directive finding.
+func SelectChecks(names []string) ([]Check, error) {
+	var out []Check
+	for _, name := range names {
+		found := false
+		for _, c := range Checks() {
+			if c.Name() == name {
+				out = append(out, c)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("lint: unknown check %q (have %s)", name, strings.Join(CheckNames(), ", "))
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("lint: no checks selected")
+	}
+	return out, nil
 }
 
 // CheckNames returns the names of all registered checks, sorted.
@@ -75,17 +107,42 @@ func isKnownCheck(name string) bool {
 // //lint:allow directives collected at load time, appends directive
 // hygiene findings (malformed or unknown-check directives), and returns
 // everything sorted by position.
+//
+// Packages are analyzed in parallel, bounded by GOMAXPROCS; each check
+// instance is serialized with its own mutex so stateful whole-program
+// checks (chaossite) accumulate safely. Their accumulation is over sets,
+// so package visit order does not change the outcome, and the final
+// position sort makes the output byte-identical to a serial run.
 func Run(pkgs []*Package, checks []Check) []Finding {
-	var out []Finding
-	for _, p := range pkgs {
-		for _, c := range checks {
-			for _, f := range c.Run(p) {
-				if !p.suppressed(c.Name(), f.File, f.Line) {
-					out = append(out, f)
+	perPkg := make([][]Finding, len(pkgs))
+	locks := make([]sync.Mutex, len(checks))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, p := range pkgs {
+		wg.Add(1)
+		go func(i int, p *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var fs []Finding
+			for ci, c := range checks {
+				locks[ci].Lock()
+				got := c.Run(p)
+				locks[ci].Unlock()
+				for _, f := range got {
+					if !p.suppressed(c.Name(), f.File, f.Line) {
+						fs = append(fs, f)
+					}
 				}
 			}
-		}
-		out = append(out, p.directiveFindings...)
+			fs = append(fs, p.directiveFindings...)
+			perPkg[i] = fs
+		}(i, p)
+	}
+	wg.Wait()
+	var out []Finding
+	for _, fs := range perPkg {
+		out = append(out, fs...)
 	}
 	for _, c := range checks {
 		if fin, ok := c.(Finisher); ok {

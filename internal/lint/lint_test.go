@@ -9,7 +9,10 @@ import (
 )
 
 // fixtureNames are the committed fixture packages, one per check.
-var fixtureNames = []string{"chaossite", "ctxflow", "mnaerr", "nopanic", "spanend"}
+var fixtureNames = []string{
+	"atomicwrite", "chaossite", "ctxflow", "goleak", "lockheld",
+	"maporder", "mnaerr", "nopanic", "rngsource", "spanend",
+}
 
 // TestFixturesGolden loads each fixture package, runs the full suite
 // over it, and compares the findings — rendered with basename-relative
@@ -70,6 +73,80 @@ func TestCleanPackage(t *testing.T) {
 	}
 	if findings := Run(pkgs, Checks()); len(findings) != 0 {
 		t.Errorf("clean fixture raised findings: %v", findings)
+	}
+}
+
+// TestSelectChecks pins the -checks surface: named subsets resolve in
+// the requested order, unknown names error with the registry listed,
+// and the empty selection is rejected.
+func TestSelectChecks(t *testing.T) {
+	checks, err := SelectChecks([]string{"maporder", "lockheld"})
+	if err != nil {
+		t.Fatalf("SelectChecks: %v", err)
+	}
+	if len(checks) != 2 || checks[0].Name() != "maporder" || checks[1].Name() != "lockheld" {
+		t.Errorf("SelectChecks returned %d checks, want [maporder lockheld]", len(checks))
+	}
+	if _, err := SelectChecks([]string{"nosuchcheck"}); err == nil {
+		t.Error("SelectChecks accepted an unknown name")
+	} else if !strings.Contains(err.Error(), "maporder") {
+		t.Errorf("unknown-check error should list the registry: %v", err)
+	}
+	if _, err := SelectChecks(nil); err == nil {
+		t.Error("SelectChecks accepted an empty selection")
+	}
+}
+
+// TestSelectedCheckScopesRun proves Run honors the selection: the
+// maporder fixture is silent under every check but its own.
+func TestSelectedCheckScopesRun(t *testing.T) {
+	pkgs, err := Load("", "./testdata/src/maporder")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	only, err := SelectChecks([]string{"rngsource"})
+	if err != nil {
+		t.Fatalf("SelectChecks: %v", err)
+	}
+	if findings := Run(pkgs, only); len(findings) != 0 {
+		t.Errorf("rngsource-only run over the maporder fixture raised findings: %v", findings)
+	}
+	only, err = SelectChecks([]string{"maporder"})
+	if err != nil {
+		t.Fatalf("SelectChecks: %v", err)
+	}
+	if findings := Run(pkgs, only); len(findings) == 0 {
+		t.Error("maporder-only run over the maporder fixture raised nothing")
+	}
+}
+
+// TestParallelRunDeterministic pins the parallel-analysis contract:
+// repeated Run calls over every fixture at once render byte-identically,
+// regardless of goroutine scheduling.
+func TestParallelRunDeterministic(t *testing.T) {
+	var patterns []string
+	for _, name := range fixtureNames {
+		patterns = append(patterns, "./"+filepath.Join("testdata", "src", name))
+	}
+	pkgs, err := Load("", patterns...)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	render := func() string {
+		var b strings.Builder
+		for _, f := range Run(pkgs, Checks()) {
+			fmt.Fprintln(&b, f)
+		}
+		return b.String()
+	}
+	first := render()
+	if first == "" {
+		t.Fatal("fixture sweep produced no findings")
+	}
+	for i := 0; i < 5; i++ {
+		if got := render(); got != first {
+			t.Fatalf("run %d drifted from run 0:\n--- got ---\n%s--- want ---\n%s", i+1, got, first)
+		}
 	}
 }
 

@@ -13,6 +13,8 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
+	"sync"
 )
 
 // Package is one loaded, parsed and type-checked package — the unit a
@@ -46,6 +48,15 @@ type listedPackage struct {
 // every matched package. The export data of dependencies feeds the
 // type checker through the standard gc importer, so the loader needs
 // nothing outside the standard library and the go tool itself.
+//
+// Packages are type-checked in parallel, bounded by GOMAXPROCS. Every
+// worker owns its FileSet and its gc importer — the importer's
+// export-data cache is not safe for concurrent use — which the checks
+// tolerate because they compare packages and types by path and name,
+// never by object identity across packages, and each Package carries
+// its own Fset. Results keep `go list` order, and the first failure in
+// that order is the one reported, so output is identical to a serial
+// load.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -69,24 +80,51 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		}
 	}
 
-	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(targets) {
+		workers = len(targets)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	pkgs := make([]*Package, len(targets))
+	errs := make([]error, len(targets))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fset := token.NewFileSet()
+			imp := newExportImporter(fset, exports)
+			for i := range jobs {
+				pkgs[i], errs[i] = typeCheck(fset, imp, targets[i])
+			}
+		}()
+	}
+	for i := range targets {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return pkgs, nil
+}
+
+// newExportImporter builds a gc importer that reads dependency type
+// information from the export files `go list -export` reported.
+func newExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		file, ok := exports[path]
 		if !ok {
 			return nil, fmt.Errorf("lint: no export data for %q", path)
 		}
 		return os.Open(file)
 	})
-
-	var pkgs []*Package
-	for _, lp := range targets {
-		p, err := typeCheck(fset, imp, lp)
-		if err != nil {
-			return nil, err
-		}
-		pkgs = append(pkgs, p)
-	}
-	return pkgs, nil
 }
 
 func goList(dir string, patterns []string) ([]*listedPackage, error) {

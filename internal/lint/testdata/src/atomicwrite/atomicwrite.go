@@ -1,0 +1,61 @@
+// Package atomicwrite is a lint fixture: direct durable writes, the
+// temp+rename and guard.WriteFileAtomic idioms, and one suppressed case.
+package atomicwrite
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/guard"
+)
+
+// Direct truncates in place: a crash mid-write leaves a hybrid file.
+func Direct(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o600)
+}
+
+// Created opens with os.Create.
+func Created(path string) (*os.File, error) {
+	return os.Create(path)
+}
+
+// Opened opens for append.
+func Opened(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o600)
+}
+
+// ReadOnly is untouched: O_RDONLY cannot corrupt anything.
+func ReadOnly(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDONLY, 0)
+}
+
+// Atomic is the approved write path.
+func Atomic(path string, data []byte) error {
+	return guard.WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// TempRename is the idiom WriteFileAtomic is built from, spelled out.
+func TempRename(dir string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, "state*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, "state"))
+}
+
+// Waived documents an intentional direct write.
+func Waived(path string) error {
+	//lint:allow atomicwrite fixture: scratch output, no durability contract
+	return os.WriteFile(path, nil, 0o600)
+}

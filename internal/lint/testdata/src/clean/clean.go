@@ -6,7 +6,12 @@ package clean
 import (
 	"context"
 	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
 
+	"repro/internal/guard"
 	"repro/internal/guard/chaos"
 	"repro/internal/mna"
 	"repro/internal/obs"
@@ -30,4 +35,51 @@ func Settle(ctx context.Context, col *obs.Collector) ([]float64, error) {
 		return nil, fmt.Errorf("clean: %w", err)
 	}
 	return waveform.StepResponseCtx(ctx, c, "out", 1e-3, 64)
+}
+
+// SortedEmit is the approved map-iteration shape: collect the keys, sort
+// them, then emit in that deterministic order.
+func SortedEmit(w io.Writer, m map[string]float64) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%g\n", k, m[k])
+	}
+}
+
+// Jitter draws from a run-local generator built from an injected seed —
+// reproducible by construction.
+func Jitter(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// Persist writes durable state through the atomic temp+rename path.
+func Persist(path string, data []byte) error {
+	return guard.WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// Fanout launches joinable goroutines: WaitGroup-collected, and snapshots
+// state under the lock before the slow work happens outside it.
+func Fanout(mu *sync.Mutex, vals []int, out chan<- int) {
+	mu.Lock()
+	snapshot := make([]int, len(vals))
+	copy(snapshot, vals)
+	mu.Unlock()
+	var wg sync.WaitGroup
+	for _, v := range snapshot {
+		v := v
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out <- v
+		}()
+	}
+	wg.Wait()
 }

@@ -1,0 +1,49 @@
+// Package goleak is a lint fixture: a fire-and-forget goroutine, the
+// three joinable shapes, and one suppressed case.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// Leak launches with no join evidence: nothing can collect it.
+func Leak() {
+	go work()
+}
+
+// WaitGrouped joins via a WaitGroup.
+func WaitGrouped() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// ChannelJoined signals completion on a channel the spawner can select on.
+func ChannelJoined() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	<-done
+}
+
+// CtxBound ties the goroutine's lifetime to a cancelable context tree.
+func CtxBound(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// Waived documents an intentional detached goroutine.
+func Waived() {
+	//lint:allow goleak fixture: process-lifetime helper, collected at exit
+	go work()
+}

@@ -1,0 +1,74 @@
+// Package lockheld is a lint fixture: blocking work under a held mutex,
+// the copy-then-release idiom, the non-blocking kick, and one
+// suppressed case.
+package lockheld
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+)
+
+// Guarded is the fixture's shared state.
+type Guarded struct {
+	mu   sync.Mutex
+	vals []int
+	ch   chan int
+}
+
+// SendHeld sends on a channel inside the critical section.
+func (g *Guarded) SendHeld(v int) {
+	g.mu.Lock()
+	g.ch <- v
+	g.mu.Unlock()
+}
+
+// ReceiveHeld blocks on a receive with the lock deferred-held.
+func (g *Guarded) ReceiveHeld() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return <-g.ch
+}
+
+// ReadHeld does file I/O under the lock.
+func (g *Guarded) ReadHeld(path string) ([]byte, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return os.ReadFile(path)
+}
+
+// ServeHeld writes the response while holding the lock: one slow client
+// queues every other caller.
+func (g *Guarded) ServeHeld(w http.ResponseWriter, r *http.Request) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	fmt.Fprintf(w, "%d values\n", len(g.vals))
+}
+
+// CopyThenSend is the approved shape: snapshot under the lock, do the
+// slow thing after Unlock.
+func (g *Guarded) CopyThenSend() {
+	g.mu.Lock()
+	n := len(g.vals)
+	g.mu.Unlock()
+	g.ch <- n
+}
+
+// Kick is the non-blocking wake idiom: a select with a default case.
+func (g *Guarded) Kick() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case g.ch <- 1:
+	default:
+	}
+}
+
+// Waived documents an intentional send under the lock.
+func (g *Guarded) Waived(v int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	//lint:allow lockheld fixture: buffered channel, send cannot block
+	g.ch <- v
+}

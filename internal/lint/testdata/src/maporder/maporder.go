@@ -1,0 +1,85 @@
+// Package maporder is a lint fixture: slice appends and direct emission
+// in map iteration order, the sanctioned sorted idioms, and one
+// suppressed case.
+package maporder
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Keys appends in map order with no sort: a different slice every run.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Print emits straight from the range body.
+func Print(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// Encode streams JSON in map order.
+func Encode(m map[string]int, buf *bytes.Buffer) error {
+	enc := json.NewEncoder(buf)
+	for k := range m {
+		if err := enc.Encode(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Build accumulates a string in map order: the same bug as printing.
+func Build(m map[string]int, buf *bytes.Buffer) {
+	for k := range m {
+		buf.WriteString(k)
+	}
+}
+
+// SortedKeys is the sanctioned collect-then-sort idiom.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Fold carries no order: summing is commutative.
+func Fold(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// PerIteration scratch slices die with the iteration and are not flagged.
+func PerIteration(m map[string][]int) int {
+	longest := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		if len(local) > longest {
+			longest = len(local)
+		}
+	}
+	return longest
+}
+
+// Waived documents an intentional unordered emission.
+func Waived(m map[string]int) {
+	for k := range m {
+		//lint:allow maporder fixture: debug dump, order genuinely irrelevant
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,36 @@
+// Package rngsource is a lint fixture: global math/rand draws, a
+// time-seeded source, the injected-seed idiom, and one suppressed case.
+package rngsource
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Global draws from the process-shared generator.
+func Global(n int) int {
+	return rand.Intn(n)
+}
+
+// Shuffled mutates through the global generator.
+func Shuffled(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// TimeSeeded draws a fresh sequence every run by construction.
+func TimeSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}
+
+// Injected is the approved run-local surface: constructors with a
+// threaded seed, draws via methods.
+func Injected(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// Waived documents an intentional global draw.
+func Waived() float64 {
+	//lint:allow rngsource fixture: jitter where reproducibility is irrelevant
+	return rand.Float64()
+}

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -298,15 +299,27 @@ func (d *Daemon) Abort() {
 	d.bg.Wait()
 }
 
-// activeRuntimesLocked snapshots the non-finished runtimes.
+// activeRuntimesLocked snapshots the non-finished runtimes, in job-id
+// order so cancellation and drain sweeps are deterministic.
 func (d *Daemon) activeRuntimesLocked() []*jobRuntime {
 	var rts []*jobRuntime
-	for _, rt := range d.rt {
-		if !rt.done.Load() {
+	for _, id := range sortedRuntimeIDsLocked(d.rt) {
+		if rt := d.rt[id]; !rt.done.Load() {
 			rts = append(rts, rt)
 		}
 	}
 	return rts
+}
+
+// sortedRuntimeIDsLocked returns the runtime map's job ids in sorted
+// order; callers hold d.mu.
+func sortedRuntimeIDsLocked(rt map[string]*jobRuntime) []string {
+	ids := make([]string, 0, len(rt))
+	for id := range rt {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
 }
 
 // Submit validates and admits one job. Admission failures are typed:
@@ -624,8 +637,8 @@ func (d *Daemon) syncEventSeqs(ctx context.Context) {
 	}
 	d.mu.Lock()
 	var hwms []hwm
-	for id, rt := range d.rt {
-		if !rt.done.Load() {
+	for _, id := range sortedRuntimeIDsLocked(d.rt) {
+		if rt := d.rt[id]; !rt.done.Load() {
 			hwms = append(hwms, hwm{id, rt.base + rt.col.EventSeq()})
 		}
 	}

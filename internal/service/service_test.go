@@ -152,6 +152,10 @@ func TestInlineBenchJobLifecycle(t *testing.T) {
 		t.Fatal("done job has no SSE event high-water mark")
 	}
 
+	// finishJob commits the terminal state (which waitJob observes)
+	// before it bumps the counters; the idempotent Drain waits for the
+	// runner goroutine, so the snapshot below cannot race it.
+	d.Drain()
 	snap := d.Collector().Snapshot()
 	for counter, want := range map[string]int64{
 		"service.jobs.submitted": 1,
@@ -203,6 +207,9 @@ func TestJobRetryBackoffThenFail(t *testing.T) {
 	if failed.Error == "" {
 		t.Fatal("failed job carries no reason")
 	}
+	// Drain (idempotent) is the barrier that guarantees finishJob's
+	// counter increments landed before the snapshot is read.
+	d.Drain()
 	snap := d.Collector().Snapshot()
 	if got := snap.Counters["service.jobs.retried"]; got != 2 {
 		t.Fatalf("service.jobs.retried = %d, want 2", got)
